@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation the paper mentions but cut for page restrictions (Section 5):
+ * a TEA variant that tags instructions at dispatch. It carries TEA's
+ * full nine-event set, so any accuracy gap versus real TEA is caused
+ * purely by the loss of time-proportionality — and the paper states it
+ * "yields similar accuracy to IBS, SPE, and RIS".
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/runner.hh"
+#include "common/table.hh"
+
+using namespace tea;
+
+int
+main()
+{
+    std::vector<SamplerConfig> techs = {ibsConfig(), dtagTeaConfig(),
+                                        teaConfig()};
+    std::vector<std::string> names = workloads::suiteNames();
+
+    Table t;
+    t.header({"benchmark", "IBS (6 events)", "DTAG-TEA (9 events)",
+              "TEA (9 events)"});
+    std::vector<double> sums(techs.size(), 0.0);
+    for (const std::string &name : names) {
+        ExperimentResult res = runBenchmark(name, techs);
+        std::vector<std::string> row{name};
+        for (std::size_t i = 0; i < res.techniques.size(); ++i) {
+            double err = res.errorOf(res.techniques[i]);
+            sums[i] += err;
+            row.push_back(fmtPercent(err));
+        }
+        t.row(row);
+    }
+    t.separator();
+    std::vector<std::string> avg{"average"};
+    for (double s : sums)
+        avg.push_back(fmtPercent(s / static_cast<double>(names.size())));
+    t.row(avg);
+
+    std::puts("Ablation: dispatch-tagged TEA (cut from the paper)");
+    t.print();
+    std::puts("Paper claim: tagging TEA's events at dispatch yields "
+              "similar accuracy to IBS/SPE/RIS -- the attribution "
+              "policy, not the event set, is what matters.");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 11: PICS and speedup for the most performance-critical load
+ * and store of lbm across software-prefetch distances.
+ *
+ * Paper result: the load's impact drops with distance and saturates at
+ * distance 4 (its stack becomes LLC hits, ST-L1); the store's impact
+ * grows, dominated by full-store-queue (DR-SQ) categories; the optimal
+ * distance is 3 with a speedup of 1.28x.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/runner.hh"
+#include "common/table.hh"
+
+using namespace tea;
+
+namespace {
+
+/** First load / first store of the inner loop in this program. */
+InstIndex
+findFirst(const Program &prog, bool want_store)
+{
+    for (InstIndex i = 0; i < prog.size(); ++i) {
+        const StaticInst &si = prog.inst(i);
+        if (want_store ? si.isStore() : si.isLoad())
+            return i;
+    }
+    return invalidInstIndex;
+}
+
+} // namespace
+
+int
+main()
+{
+    Cycle base_cycles = 0;
+    Table t;
+    t.header({"distance", "cycles", "speedup", "load cycles%",
+              "load top signature", "store cycles%",
+              "store DR-SQ share"});
+
+    std::vector<unsigned> distances = {0, 1, 2, 3, 4, 5, 6, 8};
+    for (unsigned d : distances) {
+        workloads::LbmParams p;
+        p.prefetchDistance = d;
+        ExperimentResult res = runWorkload(workloads::lbm(p),
+                                           {teaConfig()});
+        const Pics &gold = res.golden->pics();
+        double total = gold.total();
+        if (d == 0)
+            base_cycles = res.stats.cycles;
+
+        InstIndex load_pc = findFirst(res.program, false);
+        InstIndex store_pc = findFirst(res.program, true);
+        double load_cycles = gold.unitCycles(load_pc);
+        double store_cycles = gold.unitCycles(store_pc);
+
+        // Dominant signature of the load.
+        std::string top_sig = "-";
+        double top_val = 0.0;
+        for (const PicsComponent &c : gold.components()) {
+            if (c.unit == load_pc && c.cycles > top_val) {
+                top_val = c.cycles;
+                top_sig = Psv(c.signature).name();
+            }
+        }
+        // DR-SQ-involving share of the store's stack.
+        double drsq = 0.0;
+        for (const PicsComponent &c : gold.components()) {
+            if (c.unit == store_pc &&
+                Psv(c.signature).test(Event::DrSq)) {
+                drsq += c.cycles;
+            }
+        }
+
+        t.row({std::to_string(d), fmtCount(res.stats.cycles),
+               fmtDouble(static_cast<double>(base_cycles) /
+                             static_cast<double>(res.stats.cycles)) +
+                   "x",
+               fmtPercent(load_cycles / total), top_sig,
+               fmtPercent(store_cycles / total),
+               store_cycles > 0.0 ? fmtPercent(drsq / store_cycles)
+                                  : "-"});
+    }
+
+    std::puts("Figure 11: lbm PICS and speedup vs software-prefetch "
+              "distance (TEA-generated)");
+    t.print();
+    std::puts("Paper: speedup saturates around distance 3-4 (1.28x); the "
+              "load's stack turns into LLC hits (ST-L1) while the "
+              "store's DR-SQ categories grow.");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 3 / event-selection ablation: performance events form
+ * hierarchies, and TEA trades interpretability against overhead by
+ * choosing how many events the PSV tracks. This bench quantifies the
+ * trade-off: for growing event sets (roots of each dependence chain
+ * first, dependent events later), it reports how many of the cycles the
+ * golden reference attributes to event-carrying instructions remain
+ * explained, and the p99 stall length of instructions the set leaves
+ * unexplained (the paper's coverage criterion: with all nine events,
+ * 99% of unexplained stalls are < 5.8 cycles).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/runner.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace tea;
+
+int
+main()
+{
+    // Hierarchy-respecting order: commit-state roots first, dependent
+    // and specialized events later (Section 3).
+    const Event order[] = {Event::StL1,  Event::StTlb, Event::DrL1,
+                           Event::DrTlb, Event::FlMb,  Event::StLlc,
+                           Event::FlEx,  Event::FlMo,  Event::DrSq};
+
+    std::vector<std::string> names = workloads::suiteNames();
+    std::vector<ExperimentResult> runs;
+    for (const std::string &name : names)
+        runs.push_back(runBenchmark(name, {}));
+
+    Table t;
+    t.header({"PSV bits", "event set adds", "explained event cycles",
+              "unexplained-stall p99 (cycles)"});
+
+    std::uint16_t mask = 0;
+    for (unsigned k = 0; k <= numEvents; ++k) {
+        std::string added = k == 0 ? "(none)" : eventName(order[k - 1]);
+        if (k > 0)
+            mask |= static_cast<std::uint16_t>(
+                1u << static_cast<unsigned>(order[k - 1]));
+
+        double event_cycles = 0.0;
+        double explained = 0.0;
+        // Merge unexplained-stall histograms across the suite.
+        Histogram unexplained(512);
+        for (const ExperimentResult &res : runs) {
+            for (const PicsComponent &c :
+                 res.golden->pics().components()) {
+                if (c.signature == 0)
+                    continue;
+                event_cycles += c.cycles;
+                if (c.signature & mask)
+                    explained += c.cycles;
+            }
+            for (const auto &[sig, hist] :
+                 res.golden->stallHistograms()) {
+                if ((sig & mask) != 0)
+                    continue; // explained under this set
+                const auto &bins = hist.bins();
+                for (std::size_t v = 0; v < bins.size(); ++v) {
+                    if (bins[v])
+                        unexplained.add(static_cast<std::uint64_t>(v),
+                                        bins[v]);
+                }
+            }
+        }
+        t.row({std::to_string(k), added,
+               event_cycles > 0.0 ? fmtPercent(explained / event_cycles)
+                                  : "-",
+               std::to_string(unexplained.quantile(0.99))});
+    }
+
+    std::puts("Figure 3 (quantified): event-set size vs interpretability");
+    t.print();
+    std::puts("Paper: nine events suffice -- 99% of the stalls of "
+              "instructions with no event are shorter than 5.8 cycles.");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 8: error versus sampling frequency.
+ *
+ * All periods are evaluated in a single simulation per benchmark (every
+ * sampler observes the same trace). The paper samples 4 kHz on a
+ * 3.2 GHz core (one sample per 800k cycles over billions of cycles); we
+ * scale periods to our shorter runs so the samples-per-run magnitudes
+ * are comparable (see DESIGN.md).
+ *
+ * Paper result: accuracy is insensitive to sampling frequency above
+ * 4 kHz; IBS/SPE/RIS stay inaccurate at every frequency because their
+ * error is bias, not variance.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/runner.hh"
+#include "common/table.hh"
+
+using namespace tea;
+
+int
+main()
+{
+    const std::vector<Cycle> periods = {4096, 1024, 509, 251, 127, 61, 31};
+    const char *tech_names[] = {"IBS", "SPE", "RIS", "NCI-TEA", "TEA"};
+
+    // error[period][tech] summed across benchmarks.
+    std::map<Cycle, std::vector<double>> err;
+    for (Cycle p : periods)
+        err[p] = std::vector<double>(5, 0.0);
+
+    std::vector<std::string> names = workloads::suiteNames();
+    for (const std::string &name : names) {
+        std::vector<SamplerConfig> techs;
+        for (Cycle p : periods) {
+            for (SamplerConfig c : standardTechniques(p)) {
+                c.name += "@" + std::to_string(p);
+                techs.push_back(c);
+            }
+        }
+        ExperimentResult res = runBenchmark(name, techs);
+        std::size_t idx = 0;
+        for (Cycle p : periods) {
+            for (unsigned t = 0; t < 5; ++t, ++idx)
+                err[p][t] += res.errorOf(res.techniques[idx]);
+        }
+    }
+
+    Table t;
+    t.header({"period (cycles)", "IBS", "SPE", "RIS", "NCI-TEA", "TEA"});
+    for (Cycle p : periods) {
+        std::vector<std::string> row{std::to_string(p)};
+        for (unsigned tch = 0; tch < 5; ++tch) {
+            row.push_back(fmtPercent(
+                err[p][tch] / static_cast<double>(names.size())));
+        }
+        t.row(row);
+    }
+
+    std::puts("Figure 8: average error vs sampling frequency "
+              "(smaller period = higher frequency)");
+    t.print();
+    (void)tech_names;
+    std::puts("Paper: error is insensitive to frequency above 4 kHz; the "
+              "front-end taggers' error is bias-dominated and does not "
+              "improve with frequency.");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Section 3 "Overheads": TEA's storage breakdown (paper: 249 B/core),
+ * the published power figures, and the sampling performance-overhead
+ * model (paper: 1.1% at 4 kHz).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/config.hh"
+#include "events/event.hh"
+#include "profilers/overhead.hh"
+
+using namespace tea;
+
+int
+main()
+{
+    CoreConfig cfg;
+    StorageBreakdown b = teaStorage(cfg);
+
+    Table t;
+    t.header({"component", "bits", "bytes"});
+    for (const StorageItem &i : b.items) {
+        t.row({i.name, std::to_string(i.bits),
+               fmtDouble(static_cast<double>(i.bits) / 8.0, 1)});
+    }
+    t.separator();
+    t.row({"total", std::to_string(b.totalBits),
+           fmtDouble(b.totalBytes(), 1)});
+
+    std::puts("TEA storage overhead per core (paper: 249 B)");
+    t.print();
+    std::printf("TIP baseline storage: %.0f B (paper: 57 B); "
+                "TEA+TIP: %.0f B (paper: 306 B)\n",
+                tipStorageBytes(), tipStorageBytes() + b.totalBytes());
+    std::printf("IBS/SPE/RIS tagged-instruction storage: %u/%u/%u bits "
+                "(~1 B)\n",
+                ibsEventSet().size(), speEventSet().size(),
+                risEventSet().size());
+    std::printf("ROB+fetch-buffer share of TEA storage: %.1f%% "
+                "(paper: 91.7%%)\n",
+                100.0 * robFetchBufferStorageFraction(cfg));
+
+    PowerModel pm;
+    std::printf("\nPower (published figures, reproduced analytically -- "
+                "see DESIGN.md):\n"
+                "  ROB+fetch-buffer power increase: %.1f%%\n"
+                "  absolute: %.1f mW; per-core fraction: %.2f%%\n",
+                100.0 * pm.robFetchBufferIncrease, pm.absoluteMilliwatts,
+                100.0 * pm.coreFraction());
+
+    std::printf("\nSample size: %u B (paper: 88 B)\n", sampleBytes());
+    std::puts("Sampling performance overhead model "
+              "(handler cost / period):");
+    Table p;
+    p.header({"sampling frequency @3.2GHz", "period (cycles)",
+              "overhead"});
+    const Cycle periods[] = {3'200'000, 1'600'000, 800'000, 400'000,
+                             200'000};
+    const char *freqs[] = {"1 kHz", "2 kHz", "4 kHz", "8 kHz", "16 kHz"};
+    for (unsigned i = 0; i < 5; ++i) {
+        p.row({freqs[i], fmtCount(periods[i]),
+               fmtPercent(samplingPerfOverhead(periods[i]))});
+    }
+    p.print();
+    std::puts("Paper: 1.1% performance overhead at the default 4 kHz.");
+    return 0;
+}

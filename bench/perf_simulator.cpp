@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation infrastructure
+ * itself: core simulation throughput, trace-observer overhead, cache
+ * and PICS primitives. These are engineering benchmarks (not paper
+ * results) used to keep the harness fast enough for the sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/runner.hh"
+#include "core/cache.hh"
+#include "core/core.hh"
+#include "profilers/pics.hh"
+#include "workloads/workload.hh"
+
+using namespace tea;
+
+namespace {
+
+void
+BM_CoreAluLoop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Workload w = workloads::aluLoop(20000);
+        CoreConfig cfg;
+        Core core(cfg, w.program, std::move(w.initial));
+        Cycle c = core.run();
+        state.counters["cycles"] = static_cast<double>(c);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CoreAluLoop)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreMemoryBound(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Workload w = workloads::streamSum(4096, 2);
+        CoreConfig cfg;
+        Core core(cfg, w.program, std::move(w.initial));
+        Cycle c = core.run();
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CoreMemoryBound)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreWithFullObservers(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Workload w = workloads::aluLoop(20000);
+        ExperimentResult res =
+            runWorkload(std::move(w), standardTechniques());
+        benchmark::DoNotOptimize(res.stats.cycles);
+    }
+}
+BENCHMARK(BM_CoreWithFullObservers)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheArrayAccess(benchmark::State &state)
+{
+    CacheConfig cfg{32 * 1024, 8, 16, 3};
+    CacheArray cache(cfg, "bench");
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!cache.access(a))
+            cache.insert(a, false);
+        a = (a + 64) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+void
+BM_PicsAddAndMask(benchmark::State &state)
+{
+    Pics pics;
+    std::uint32_t pc = 0;
+    for (auto _ : state) {
+        Psv psv(static_cast<std::uint16_t>(pc & 0x1ff));
+        pics.add(pc & 1023, psv, 1.0);
+        ++pc;
+        if ((pc & 0xffff) == 0) {
+            Pics m = pics.masked(0x3f);
+            benchmark::DoNotOptimize(m.total());
+        }
+    }
+}
+BENCHMARK(BM_PicsAddAndMask);
+
+} // namespace
+
+BENCHMARK_MAIN();

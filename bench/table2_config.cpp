@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 2: the baseline architecture configuration of the simulated
+ * BOOM-class core.
+ */
+
+#include <cstdio>
+
+#include "core/config.hh"
+
+using namespace tea;
+
+int
+main()
+{
+    CoreConfig cfg;
+    std::puts("Table 2: Baseline architecture configuration.");
+    std::fputs(cfg.describe().c_str(), stdout);
+    std::puts("");
+    std::puts("Differences from the paper's FireSim/BOOM baseline "
+              "(see DESIGN.md):");
+    std::puts(" - TAGE-lite (~24 KB) models the 28 KB TAGE;");
+    std::puts(" - 40/24 load/store queue split models the 64-entry LSQ;");
+    std::puts(" - execution latencies are conventional values (the RTL's "
+              "exact latencies are not published).");
+    return 0;
+}

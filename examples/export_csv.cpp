@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Export TEA PICS as CSV for external plotting: one row per
+ * (instruction, signature) component with disassembly, function and
+ * share columns.
+ *
+ * Usage: export_csv [benchmark] [output.csv]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/runner.hh"
+#include "isa/disasm.hh"
+
+using namespace tea;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "bwaves";
+    std::string path = argc > 2 ? argv[2] : "/tmp/tea_pics.csv";
+
+    ExperimentResult res = runBenchmark(name, {teaConfig()});
+    const Pics &pics = res.technique("TEA").pics;
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "index,pc,function,disassembly,signature,cycles,"
+                    "share\n");
+    unsigned rows = 0;
+    for (const PicsComponent &c : pics.components()) {
+        auto idx = static_cast<InstIndex>(c.unit);
+        std::fprintf(f, "%u,0x%llx,%s,\"%s\",%s,%.1f,%.6f\n", idx,
+                     static_cast<unsigned long long>(
+                         res.program.pcOf(idx)),
+                     res.program
+                         .functionName(res.program.functionOf(idx))
+                         .c_str(),
+                     disassemble(res.program.inst(idx)).c_str(),
+                     Psv(c.signature).name().c_str(), c.cycles,
+                     c.cycles / pics.total());
+        ++rows;
+    }
+    std::fclose(f);
+    std::printf("wrote %u PICS components for %s to %s\n", rows,
+                name.c_str(), path.c_str());
+    return 0;
+}

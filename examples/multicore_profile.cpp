@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-core profiling: two benchmarks co-run on a two-core system that
+ * shares the LLC, DRAM bandwidth and the L2 TLB; each core has its own
+ * TEA unit, and the sample records carry logical core / process ids so
+ * the tool builds per-thread PICS (Section 3's multi-threaded claim).
+ *
+ * Usage: multicore_profile [benchA] [benchB]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.hh"
+#include "core/system.hh"
+#include "profilers/sample_record.hh"
+#include "profilers/sampler.hh"
+#include "workloads/workload.hh"
+
+using namespace tea;
+
+int
+main(int argc, char **argv)
+{
+    std::string name_a = argc > 1 ? argv[1] : "fotonik3d";
+    std::string name_b = argc > 2 ? argv[2] : "exchange2";
+
+    CoreConfig cfg;
+    System system(cfg);
+
+    Workload a = workloads::byName(name_a);
+    Workload b = workloads::byName(name_b);
+    unsigned core_a = system.addCore(std::move(a.program),
+                                     std::move(a.initial));
+    unsigned core_b = system.addCore(std::move(b.program),
+                                     std::move(b.initial));
+
+    // One TEA unit per physical core, one shared sample buffer (the
+    // kernel's perf buffer); records are demultiplexed by core id.
+    SampleBuffer buffer;
+    TechniqueSampler tea_a{teaConfig()};
+    TechniqueSampler tea_b{teaConfig()};
+    tea_a.setRecorder(&buffer, static_cast<std::uint16_t>(core_a), 100,
+                      100);
+    tea_b.setRecorder(&buffer, static_cast<std::uint16_t>(core_b), 200,
+                      200);
+    system.addSink(core_a, &tea_a);
+    system.addSink(core_b, &tea_b);
+
+    system.run();
+
+    std::printf("co-ran %s (core %u, %llu cycles) and %s (core %u, %llu "
+                "cycles); shared buffer holds %zu samples\n\n",
+                name_a.c_str(), core_a,
+                static_cast<unsigned long long>(
+                    system.core(core_a).stats().cycles),
+                name_b.c_str(), core_b,
+                static_cast<unsigned long long>(
+                    system.core(core_b).stats().cycles),
+                buffer.size());
+
+    for (unsigned id : {core_a, core_b}) {
+        Pics pics = picsFromRecords(buffer.records(), 127,
+                                    teaEventSet().mask,
+                                    static_cast<int>(id));
+        std::printf("-- per-thread PICS, core %u (top 4):\n", id);
+        std::fputs(renderTopInstructions(system.program(id), pics, 4,
+                                         pics.total())
+                       .c_str(),
+                   stdout);
+    }
+    std::puts("\nNote how the memory-bound thread's stacks keep their "
+              "cache-miss signatures while the compute-bound thread's "
+              "stay Base/FL-MB -- per-thread attribution survives the "
+              "shared memory system.");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Example: run workloads on the out-of-order core model and print the
+ * commit-state breakdown and event statistics the paper builds on.
+ *
+ * Usage: pipeline_stats [workload ...]
+ * With no arguments, runs the whole SPEC-like suite.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/core.hh"
+#include "workloads/workload.hh"
+
+using namespace tea;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.emplace_back(argv[i]);
+    if (names.empty())
+        names = workloads::suiteNames();
+
+    Table t;
+    t.header({"benchmark", "cycles", "uops", "IPC", "compute", "stalled",
+              "drained", "flushed", "mispred", "MO", "events/uop"});
+
+    for (const std::string &name : names) {
+        Workload w = workloads::byName(name);
+        CoreConfig cfg;
+        Core core(cfg, w.program, std::move(w.initial));
+        core.run();
+        const CoreStats &s = core.stats();
+        auto frac = [&](CommitState st) {
+            return fmtPercent(
+                static_cast<double>(
+                    s.stateCycles[static_cast<unsigned>(st)]) /
+                static_cast<double>(s.cycles));
+        };
+        t.row({name, fmtCount(s.cycles), fmtCount(s.committedUops),
+               fmtDouble(s.ipc()), frac(CommitState::Compute),
+               frac(CommitState::Stalled), frac(CommitState::Drained),
+               frac(CommitState::Flushed), fmtCount(s.branchMispredicts),
+               fmtCount(s.moViolations),
+               fmtDouble(static_cast<double>(s.uopsWithEvents) /
+                             static_cast<double>(s.committedUops),
+                         4)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "analysis/cpi_stack.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace tea {
+
+double
+CpiStack::total() const
+{
+    double t = baseCpi;
+    for (double e : eventCpi)
+        t += e;
+    return t;
+}
+
+std::string
+CpiStack::render() const
+{
+    Table t;
+    t.header({"component", "CPI", "share"});
+    double tot = total();
+    t.row({"base", fmtDouble(baseCpi, 3),
+           fmtPercent(tot > 0 ? baseCpi / tot : 0)});
+    for (unsigned e = 0; e < numEvents; ++e) {
+        if (eventCpi[e] <= 0.0)
+            continue;
+        t.row({eventName(static_cast<Event>(e)),
+               fmtDouble(eventCpi[e], 3),
+               fmtPercent(tot > 0 ? eventCpi[e] / tot : 0)});
+    }
+    t.separator();
+    t.row({"total", fmtDouble(tot, 3), "100.0%"});
+    return t.render();
+}
+
+CpiStack
+cpiStackFrom(const GoldenReference &golden, const CoreStats &stats)
+{
+    CpiStack s;
+    s.instructions = stats.committedUops;
+    tea_assert(s.instructions > 0, "CPI stack of an empty run");
+    double inv = 1.0 / static_cast<double>(s.instructions);
+    for (const PicsComponent &c : golden.pics().components()) {
+        Psv sig(c.signature);
+        if (sig.empty()) {
+            s.baseCpi += c.cycles * inv;
+            continue;
+        }
+        double share = c.cycles * inv / sig.popcount();
+        for (unsigned e = 0; e < numEvents; ++e) {
+            if (sig.test(static_cast<Event>(e)))
+                s.eventCpi[e] += share;
+        }
+    }
+    return s;
+}
+
+const char *
+TopDown::dominant() const
+{
+    const char *name = "retiring";
+    double best = retiring;
+    if (backEndBound > best) {
+        best = backEndBound;
+        name = "back-end bound";
+    }
+    if (frontEndBound > best) {
+        best = frontEndBound;
+        name = "front-end bound";
+    }
+    if (badSpeculation > best) {
+        name = "bad speculation";
+    }
+    return name;
+}
+
+std::string
+TopDown::render() const
+{
+    return strprintf("retiring %.1f%% | back-end %.1f%% | front-end "
+                     "%.1f%% | bad speculation %.1f%%  -> %s",
+                     100.0 * retiring, 100.0 * backEndBound,
+                     100.0 * frontEndBound, 100.0 * badSpeculation,
+                     dominant());
+}
+
+TopDown
+topDownFrom(const CoreStats &stats)
+{
+    TopDown td;
+    if (stats.cycles == 0)
+        return td;
+    double inv = 1.0 / static_cast<double>(stats.cycles);
+    td.retiring = static_cast<double>(stats.stateCycles[static_cast<
+                      unsigned>(CommitState::Compute)]) *
+                  inv;
+    td.backEndBound = static_cast<double>(stats.stateCycles[static_cast<
+                          unsigned>(CommitState::Stalled)]) *
+                      inv;
+    td.frontEndBound = static_cast<double>(stats.stateCycles[static_cast<
+                           unsigned>(CommitState::Drained)]) *
+                       inv;
+    td.badSpeculation = static_cast<double>(stats.stateCycles[static_cast<
+                            unsigned>(CommitState::Flushed)]) *
+                        inv;
+    return td;
+}
+
+} // namespace tea

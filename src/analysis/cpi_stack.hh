@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The related-work baselines the paper contrasts PICS against (§7):
+ * application-level CPI stacks (Eyerman et al., ASPLOS'06) and the
+ * top-down bottleneck classification (Yasin, ISPASS'14). Both are
+ * computed here from the same golden trace, which makes the comparison
+ * exact: they summarize the same cycles PICS attributes, but cannot say
+ * *which instruction* is responsible.
+ */
+
+#ifndef TEA_ANALYSIS_CPI_STACK_HH
+#define TEA_ANALYSIS_CPI_STACK_HH
+
+#include <array>
+#include <string>
+
+#include "core/core.hh"
+#include "profilers/golden.hh"
+
+namespace tea {
+
+/** Application-level cycles-per-instruction stack. */
+struct CpiStack
+{
+    double baseCpi = 0.0;    ///< compute + event-free cycles / inst
+    std::array<double, numEvents> eventCpi{}; ///< per-event stall CPI
+    std::uint64_t instructions = 0;
+
+    /** Total CPI (sums base and all event components). */
+    double total() const;
+
+    /** Render as an ASCII table. */
+    std::string render() const;
+};
+
+/**
+ * Build the application CPI stack from the golden PICS: cycles of
+ * components whose signature contains an event are split evenly across
+ * the events in the signature (the conventional CPI-stack accounting);
+ * event-free cycles form the base component.
+ */
+CpiStack cpiStackFrom(const GoldenReference &golden,
+                      const CoreStats &stats);
+
+/** Top-down first-level classification (fractions sum to 1). */
+struct TopDown
+{
+    double retiring = 0.0;      ///< Compute cycles
+    double backEndBound = 0.0;  ///< Stalled cycles
+    double frontEndBound = 0.0; ///< Drained cycles
+    double badSpeculation = 0.0; ///< Flushed cycles
+
+    /** Name of the dominant category. */
+    const char *dominant() const;
+
+    /** Render as a one-line summary. */
+    std::string render() const;
+};
+
+/** Classify from the commit-state cycle counts. */
+TopDown topDownFrom(const CoreStats &stats);
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_CPI_STACK_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PICS report rendering: the textual equivalents of the paper's
+ * cycle-stack figures (Fig 6, 10, 11, 12).
+ */
+
+#ifndef TEA_ANALYSIS_REPORT_HH
+#define TEA_ANALYSIS_REPORT_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "profilers/pics.hh"
+
+namespace tea {
+
+/**
+ * Render the top-@p n instructions of @p pics as stacked cycle bars with
+ * per-signature breakdowns. Percentages are of @p total_cycles (pass
+ * pics.total() unless comparing against another profile's scale).
+ */
+std::string renderTopInstructions(const Program &prog, const Pics &pics,
+                                  std::size_t n, double total_cycles);
+
+/**
+ * Render the cycle stack of one specific instruction (used by the lbm
+ * and nab case studies to track a named load/store across variants).
+ */
+std::string renderInstructionStack(const Program &prog, const Pics &pics,
+                                   InstIndex pc, double total_cycles);
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_REPORT_HH

@@ -1,0 +1,72 @@
+#include "analysis/runner.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+const TechniqueResult &
+ExperimentResult::technique(const std::string &tech_name) const
+{
+    for (const TechniqueResult &t : techniques) {
+        if (t.config.name == tech_name)
+            return t;
+    }
+    tea_fatal("technique '%s' not present in experiment '%s'",
+              tech_name.c_str(), name.c_str());
+}
+
+double
+ExperimentResult::errorOf(const TechniqueResult &t, Granularity g) const
+{
+    Pics gold = golden->pics()
+                    .masked(t.config.eventMask)
+                    .aggregated(program, g);
+    Pics mine = t.pics.aggregated(program, g);
+    return mine.errorAgainst(gold);
+}
+
+std::vector<SamplerConfig>
+standardTechniques(Cycle period)
+{
+    return {ibsConfig(period), speConfig(period), risConfig(period),
+            nciTeaConfig(period), teaConfig(period)};
+}
+
+ExperimentResult
+runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
+            const CoreConfig &cfg)
+{
+    ExperimentResult res;
+    res.name = workload.program.name();
+    res.golden = std::make_unique<GoldenReference>();
+
+    std::vector<std::unique_ptr<TechniqueSampler>> samplers;
+    samplers.reserve(techniques.size());
+    for (SamplerConfig &tc : techniques)
+        samplers.push_back(std::make_unique<TechniqueSampler>(tc));
+
+    Core core(cfg, workload.program, std::move(workload.initial));
+    core.addSink(res.golden.get());
+    for (auto &s : samplers)
+        core.addSink(s.get());
+    core.run();
+
+    res.stats = core.stats();
+    for (auto &s : samplers) {
+        res.techniques.push_back(TechniqueResult{
+            s->config(), s->pics(), s->samplesTaken(),
+            s->samplesDropped()});
+    }
+    res.program = std::move(workload.program);
+    return res;
+}
+
+ExperimentResult
+runBenchmark(const std::string &name, std::vector<SamplerConfig> techniques,
+             const CoreConfig &cfg)
+{
+    return runWorkload(workloads::byName(name), std::move(techniques),
+                       cfg);
+}
+
+} // namespace tea

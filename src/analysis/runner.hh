@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment runner: simulates one workload once while the golden
+ * reference and any number of sampling techniques observe the same cycle
+ * trace (the paper's single-run, out-of-band evaluation methodology).
+ */
+
+#ifndef TEA_ANALYSIS_RUNNER_HH
+#define TEA_ANALYSIS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "profilers/golden.hh"
+#include "profilers/sampler.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+
+/** Outcome of one technique in one run. */
+struct TechniqueResult
+{
+    SamplerConfig config;
+    Pics pics;
+    std::uint64_t samplesTaken = 0;
+    std::uint64_t samplesDropped = 0;
+};
+
+/** Outcome of simulating one workload with all observers attached. */
+struct ExperimentResult
+{
+    std::string name;
+    Program program;
+    CoreStats stats;
+    std::unique_ptr<GoldenReference> golden;
+    std::vector<TechniqueResult> techniques;
+
+    /** Result of the technique named @p name (fatal if absent). */
+    const TechniqueResult &technique(const std::string &name) const;
+
+    /**
+     * Error of technique @p t against the golden reference projected to
+     * the technique's event set, at granularity @p g (Section 4).
+     */
+    double errorOf(const TechniqueResult &t,
+                   Granularity g = Granularity::Instruction) const;
+};
+
+/** The five techniques compared in Fig 5, in paper order. */
+std::vector<SamplerConfig> standardTechniques(Cycle period = 127);
+
+/** Simulate @p workload with @p techniques and the golden reference. */
+ExperimentResult runWorkload(Workload workload,
+                             std::vector<SamplerConfig> techniques,
+                             const CoreConfig &cfg = CoreConfig{});
+
+/** Convenience: construct a suite benchmark by name and run it. */
+ExperimentResult runBenchmark(const std::string &name,
+                              std::vector<SamplerConfig> techniques,
+                              const CoreConfig &cfg = CoreConfig{});
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_RUNNER_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, malformed programs) and
+ * exits cleanly; panic() is for internal invariant violations and aborts.
+ */
+
+#ifndef TEA_COMMON_LOGGING_HH
+#define TEA_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tea {
+
+/** Format a printf-style message into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+} // namespace tea
+
+/** Terminate due to a user error (bad config, bad input). */
+#define tea_fatal(...) \
+    ::tea::fatalImpl(__FILE__, __LINE__, ::tea::strprintf(__VA_ARGS__))
+
+/** Terminate due to an internal bug (invariant violation). */
+#define tea_panic(...) \
+    ::tea::panicImpl(__FILE__, __LINE__, ::tea::strprintf(__VA_ARGS__))
+
+/** Emit a non-fatal warning. */
+#define tea_warn(...) \
+    ::tea::warnImpl(__FILE__, __LINE__, ::tea::strprintf(__VA_ARGS__))
+
+/** Internal invariant check; active in all build types. */
+#define tea_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::tea::panicImpl(__FILE__, __LINE__,                        \
+                             "assertion failed: " #cond " " +          \
+                                 ::tea::strprintf("" __VA_ARGS__));    \
+        }                                                               \
+    } while (0)
+
+#endif // TEA_COMMON_LOGGING_HH

@@ -1,0 +1,84 @@
+#include "common/rng.hh"
+
+namespace tea {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift; bias is negligible for our bounds.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    // Irwin-Hall approximation: sum of 4 uniforms has stddev sqrt(1/3).
+    double s = uniform() + uniform() + uniform() + uniform();
+    double z = (s - 2.0) / 0.5773502691896258;
+    return mean + stddev * z;
+}
+
+} // namespace tea

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic behaviour in the simulator and the workload generators is
+ * driven through this class so that every experiment is bit-reproducible
+ * from its seed.
+ */
+
+#ifndef TEA_COMMON_RNG_HH
+#define TEA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace tea {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire scaling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Approximately normal variate (Irwin-Hall of 4 uniforms). */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_RNG_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Statistics helpers used by the analysis layer and the benches:
+ * summary moments, percentiles, Pearson correlation, five-number boxplot
+ * summaries and fixed-bin histograms.
+ */
+
+#ifndef TEA_COMMON_STATS_HH
+#define TEA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tea {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs data (copied and sorted internally)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Pearson correlation coefficient between two equally sized series.
+ *
+ * Returns 0 when either series has zero variance (the convention used in
+ * the Fig 7 analysis: an event that never varies carries no signal).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Five-number summary for boxplot rendering. */
+struct BoxplotSummary
+{
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    std::size_t n = 0;
+};
+
+/** Compute the five-number summary of a series. */
+BoxplotSummary boxplot(std::vector<double> xs);
+
+/**
+ * Streaming histogram over uint64 values with power-of-two-friendly fixed
+ * bins, used for stall-length distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value values above this land in the overflow bin */
+    explicit Histogram(std::uint64_t max_value);
+
+    /** Record one observation. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Total recorded weight. */
+    std::uint64_t count() const { return count_; }
+
+    /** Weighted mean of recorded values (overflow counted at max). */
+    double mean() const;
+
+    /**
+     * Smallest value v such that at least fraction f of the recorded
+     * weight is <= v. Returns max_value+1 if f falls in the overflow bin.
+     */
+    std::uint64_t quantile(double f) const;
+
+    /** Per-value counts (index = value, last index = overflow). */
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t maxValue_;
+    std::uint64_t count_ = 0;
+    unsigned __int128 sum_ = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_STATS_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ASCII table and bar-chart rendering used by every bench binary to print
+ * the rows/series the paper's tables and figures report.
+ */
+
+#ifndef TEA_COMMON_TABLE_HH
+#define TEA_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+    /** Convenience: render directly to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isSeparator = false;
+    };
+
+    std::vector<Row> rows_;
+    bool hasHeader_ = false;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Format a value as a percentage string, e.g. "55.6%". */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/** Format a count with thousands separators. */
+std::string fmtCount(std::uint64_t v);
+
+/**
+ * Horizontal ASCII bar scaled to @p width characters at @p fraction of
+ * @p full_scale; used to render figure-style bar charts in benches.
+ */
+std::string bar(double value, double full_scale, int width = 40);
+
+/**
+ * Render a stacked-bar row: one character class per labelled segment.
+ * Segments use the characters '#', '=', '+', '-', 'o', '*', '.', '%', '@'
+ * cyclically (one per component), scaled so the whole row is
+ * @p width characters at @p full_scale.
+ */
+std::string stackedBar(const std::vector<double> &segments,
+                       double full_scale, int width = 50);
+
+} // namespace tea
+
+#endif // TEA_COMMON_TABLE_HH

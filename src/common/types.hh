@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental typedefs shared by every TEA library.
+ */
+
+#ifndef TEA_COMMON_TYPES_HH
+#define TEA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tea {
+
+/** A clock cycle count (absolute simulation time or duration). */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated virtual/physical address space. */
+using Addr = std::uint64_t;
+
+/** A globally unique, monotonically increasing dynamic micro-op id. */
+using SeqNum = std::uint64_t;
+
+/** Index of a static instruction within a Program. */
+using InstIndex = std::uint32_t;
+
+/** Sentinel for "no static instruction". */
+inline constexpr InstIndex invalidInstIndex =
+    std::numeric_limits<InstIndex>::max();
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum invalidSeqNum = std::numeric_limits<SeqNum>::max();
+
+} // namespace tea
+
+#endif // TEA_COMMON_TYPES_HH

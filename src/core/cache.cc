@@ -1,0 +1,162 @@
+#include "core/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/memory.hh"
+
+namespace tea {
+
+CacheArray::CacheArray(const CacheConfig &cfg, std::string name)
+    : name_(std::move(name)), ways_(cfg.ways)
+{
+    std::uint64_t lines = cfg.sizeBytes / lineBytes;
+    tea_assert(lines % ways_ == 0, "%s: size not divisible by ways",
+               name_.c_str());
+    numSets_ = static_cast<unsigned>(lines / ways_);
+    tea_assert((numSets_ & (numSets_ - 1)) == 0,
+               "%s: set count must be a power of two", name_.c_str());
+    tags_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+std::size_t
+CacheArray::setOf(Addr line) const
+{
+    return static_cast<std::size_t>((line / lineBytes) & (numSets_ - 1)) *
+           ways_;
+}
+
+CacheArray::Way *
+CacheArray::find(Addr line)
+{
+    std::size_t base = setOf(line);
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = tags_[base + w];
+        if (way.valid && way.line == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+const CacheArray::Way *
+CacheArray::find(Addr line) const
+{
+    return const_cast<CacheArray *>(this)->find(line);
+}
+
+bool
+CacheArray::contains(Addr line) const
+{
+    return find(line) != nullptr;
+}
+
+bool
+CacheArray::access(Addr line)
+{
+    ++accesses;
+    Way *w = find(line);
+    if (w) {
+        w->lastUse = ++useClock_;
+        return true;
+    }
+    ++misses;
+    return false;
+}
+
+Eviction
+CacheArray::insert(Addr line, bool dirty)
+{
+    Eviction ev;
+    if (Way *existing = find(line)) {
+        existing->dirty = existing->dirty || dirty;
+        existing->lastUse = ++useClock_;
+        return ev;
+    }
+    std::size_t base = setOf(line);
+    Way *victim = &tags_[base];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = tags_[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.line = victim->line;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->line = line;
+    victim->lastUse = ++useClock_;
+    return ev;
+}
+
+void
+CacheArray::markDirty(Addr line)
+{
+    if (Way *w = find(line))
+        w->dirty = true;
+}
+
+void
+CacheArray::invalidate(Addr line)
+{
+    if (Way *w = find(line))
+        w->valid = false;
+}
+
+MshrFile::MshrFile(unsigned entries) : entries_(entries) {}
+
+void
+MshrFile::prune(Cycle now)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second <= now)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+MshrFile::allocatableAt(Cycle now)
+{
+    prune(now);
+    if (pending_.size() < entries_)
+        return now;
+    Cycle earliest = invalidCycle;
+    for (const auto &[line, fill] : pending_)
+        earliest = std::min(earliest, fill);
+    return earliest;
+}
+
+void
+MshrFile::allocate(Addr line, Cycle fill)
+{
+    auto it = pending_.find(line);
+    if (it == pending_.end())
+        pending_.emplace(line, fill);
+    else
+        it->second = std::min(it->second, fill);
+}
+
+Cycle
+MshrFile::outstandingFill(Addr line, Cycle now)
+{
+    prune(now);
+    auto it = pending_.find(line);
+    return it == pending_.end() ? invalidCycle : it->second;
+}
+
+unsigned
+MshrFile::inFlight(Cycle now)
+{
+    prune(now);
+    return static_cast<unsigned>(pending_.size());
+}
+
+} // namespace tea

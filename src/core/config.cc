@@ -1,0 +1,51 @@
+#include "core/config.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+std::string
+CoreConfig::describe() const
+{
+    std::string out;
+    out += strprintf("Core      OoO BOOM-class model, %u-way superscalar\n",
+                     commitWidth);
+    if (predictor == PredictorKind::Tage) {
+        out += strprintf(
+            "Front-end %u-wide fetch, %u-entry fetch buffer, %u-wide "
+            "decode, TAGE branch predictor\n",
+            fetchWidth, fetchBufferEntries, decodeWidth);
+    } else {
+        out += strprintf(
+            "Front-end %u-wide fetch, %u-entry fetch buffer, %u-wide "
+            "decode, gshare predictor (%u-entry, %u-bit history)\n",
+            fetchWidth, fetchBufferEntries, decodeWidth, bpTableEntries,
+            bpHistoryBits);
+    }
+    out += strprintf(
+        "Execute   %u-entry ROB, %u-entry %u-issue memory queue, "
+        "%u-entry %u-issue integer queue, %u-entry %u-issue FP queue\n",
+        robEntries, memIqEntries, memIssueWidth, intIqEntries,
+        intIssueWidth, fpIqEntries, fpIssueWidth);
+    out += strprintf("LSU       %u-entry load queue, %u-entry store queue\n",
+                     lqEntries, sqEntries);
+    out += strprintf(
+        "L1        %lu KB %u-way I-cache, %lu KB %u-way D-cache w/ %u "
+        "MSHRs, next-line prefetcher %s\n",
+        static_cast<unsigned long>(l1i.sizeBytes / 1024), l1i.ways,
+        static_cast<unsigned long>(l1d.sizeBytes / 1024), l1d.ways,
+        l1d.mshrs, nextLinePrefetcher ? "on" : "off");
+    out += strprintf("LLC       %lu KiB %u-way w/ %u MSHRs, %u-cycle hit\n",
+                     static_cast<unsigned long>(llc.sizeBytes / 1024),
+                     llc.ways, llc.mshrs, llc.hitLatency);
+    out += strprintf(
+        "TLB       %u-entry fully-assoc L1 D-TLB, %u-entry fully-assoc L1 "
+        "I-TLB, %u-entry direct-mapped L2 TLB, %u-cycle walk\n",
+        tlb.l1Entries, tlb.l1Entries, tlb.l2Entries, tlb.walkLatency);
+    out += strprintf(
+        "Memory    %u-cycle latency, 1 line / %u cycles bandwidth\n",
+        dramLatency, dramInterval);
+    return out;
+}
+
+} // namespace tea

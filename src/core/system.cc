@@ -1,0 +1,76 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+System::System(const CoreConfig &cfg) : cfg_(cfg), uncore_(cfg_) {}
+
+unsigned
+System::addCore(Program prog, ArchState initial)
+{
+    Node node;
+    node.program = std::make_unique<Program>(std::move(prog));
+    node.core = std::make_unique<Core>(cfg_, *node.program,
+                                       std::move(initial), uncore_);
+    nodes_.push_back(std::move(node));
+    return static_cast<unsigned>(nodes_.size() - 1);
+}
+
+Core &
+System::core(unsigned id)
+{
+    tea_assert(id < nodes_.size(), "core id %u out of range", id);
+    return *nodes_[id].core;
+}
+
+const Core &
+System::core(unsigned id) const
+{
+    tea_assert(id < nodes_.size(), "core id %u out of range", id);
+    return *nodes_[id].core;
+}
+
+const Program &
+System::program(unsigned id) const
+{
+    tea_assert(id < nodes_.size(), "core id %u out of range", id);
+    return *nodes_[id].program;
+}
+
+void
+System::addSink(unsigned id, TraceSink *sink)
+{
+    core(id).addSink(sink);
+}
+
+Cycle
+System::run(Cycle max_cycles)
+{
+    tea_assert(!nodes_.empty(), "system has no cores");
+    Cycle longest = 0;
+    bool any_running = true;
+    while (any_running) {
+        any_running = false;
+        for (Node &n : nodes_) {
+            if (n.core->halted())
+                continue;
+            n.core->step();
+            if (!n.core->halted())
+                any_running = true;
+            longest = std::max(longest, n.core->cycle());
+        }
+        if (longest >= max_cycles)
+            break;
+    }
+    for (const Node &n : nodes_) {
+        tea_assert(n.core->halted(),
+                   "core did not halt within %lu cycles",
+                   static_cast<unsigned long>(max_cycles));
+    }
+    return longest;
+}
+
+} // namespace tea

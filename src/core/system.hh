@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-core system: N BOOM-class cores (one hardware thread each)
+ * sharing an Uncore (LLC, DRAM bandwidth, L2 TLB). Each core has its
+ * own TEA unit — i.e., its own trace and its own samplers — matching
+ * Section 3's "one TEA unit per physical core" and enabling per-thread
+ * PICS for multi-programmed workloads.
+ */
+
+#ifndef TEA_CORE_SYSTEM_HH
+#define TEA_CORE_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "core/uncore.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+
+namespace tea {
+
+/** A shared-memory multi-core chip running one program per core. */
+class System
+{
+  public:
+    explicit System(const CoreConfig &cfg);
+
+    /**
+     * Add a core running @p prog from @p initial; the system takes
+     * ownership of the program. @return the new core's id
+     */
+    unsigned addCore(Program prog, ArchState initial);
+
+    /** Number of cores. */
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(nodes_.size());
+    }
+
+    /** Core @p id (valid for the system's lifetime). */
+    Core &core(unsigned id);
+    const Core &core(unsigned id) const;
+
+    /** Program running on core @p id. */
+    const Program &program(unsigned id) const;
+
+    /** Attach a trace observer to core @p id. */
+    void addSink(unsigned id, TraceSink *sink);
+
+    /**
+     * Step all cores in lockstep until every core has halted (or
+     * @p max_cycles elapse). @return cycles of the longest-running core
+     */
+    Cycle run(Cycle max_cycles = 2'000'000'000ULL);
+
+    const Uncore &uncore() const { return uncore_; }
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<Program> program;
+        std::unique_ptr<Core> core;
+    };
+
+    CoreConfig cfg_;
+    Uncore uncore_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace tea
+
+#endif // TEA_CORE_SYSTEM_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cycle-by-cycle trace interface (the in-process TraceDoctor equivalent).
+ *
+ * The core publishes, for every simulated cycle, the commit state, the
+ * committing micro-ops and their PSVs, the head-of-ROB micro-op, and the
+ * last-committed instruction's PSV; it additionally publishes dispatch,
+ * fetch and retire events. All profiling techniques are TraceSinks and
+ * observe the exact same cycles, mirroring the paper's out-of-band
+ * methodology (Section 4).
+ */
+
+#ifndef TEA_CORE_TRACE_HH
+#define TEA_CORE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "events/event.hh"
+
+namespace tea {
+
+/** A micro-op committing in this cycle. */
+struct CommittedUop
+{
+    SeqNum seq = invalidSeqNum;
+    InstIndex pc = invalidInstIndex;
+    Psv psv;
+};
+
+/** Per-cycle commit-stage snapshot. */
+struct CycleRecord
+{
+    Cycle cycle = 0;
+    CommitState state = CommitState::Drained;
+
+    /** Micro-ops committed this cycle (state == Compute). */
+    std::uint8_t numCommitted = 0;
+    std::array<CommittedUop, 8> committed{};
+
+    /** Head of the ROB (valid in the Stalled state). */
+    bool headValid = false;
+    SeqNum headSeq = invalidSeqNum;
+    InstIndex headPc = invalidInstIndex;
+
+    /** Last-committed instruction (valid once anything committed). */
+    bool lastValid = false;
+    InstIndex lastPc = invalidInstIndex;
+    Psv lastPsv;
+};
+
+/** A micro-op passing a front-end stage (fetch or dispatch). */
+struct UopRecord
+{
+    SeqNum seq = invalidSeqNum;
+    InstIndex pc = invalidInstIndex;
+    Cycle cycle = 0;
+};
+
+/** A micro-op retiring (committing) with its final PSV. */
+struct RetireRecord
+{
+    SeqNum seq = invalidSeqNum;
+    InstIndex pc = invalidInstIndex;
+    Psv psv;
+    Cycle cycle = 0;
+};
+
+/** Observer interface for the cycle trace. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per simulated cycle after commit. */
+    virtual void onCycle(const CycleRecord &rec) { (void)rec; }
+
+    /** Called for every micro-op entering the ROB. */
+    virtual void onDispatch(const UopRecord &rec) { (void)rec; }
+
+    /** Called for every fetched micro-op. */
+    virtual void onFetch(const UopRecord &rec) { (void)rec; }
+
+    /** Called for every committing micro-op with its final PSV. */
+    virtual void onRetire(const RetireRecord &rec) { (void)rec; }
+
+    /** Called once when the simulated program has terminated. */
+    virtual void onEnd(Cycle final_cycle) { (void)final_cycle; }
+};
+
+} // namespace tea
+
+#endif // TEA_CORE_TRACE_HH

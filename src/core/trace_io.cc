@@ -1,0 +1,212 @@
+#include "core/trace_io.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+namespace {
+
+// Event tags.
+constexpr std::uint8_t tagCycle = 'C';
+constexpr std::uint8_t tagDispatch = 'D';
+constexpr std::uint8_t tagFetch = 'F';
+constexpr std::uint8_t tagRetire = 'R';
+constexpr std::uint8_t tagEnd = 'E';
+
+/** On-disk cycle record (fixed-width, packed by construction). */
+struct DiskCycle
+{
+    std::uint64_t cycle;
+    std::uint8_t state;
+    std::uint8_t numCommitted;
+    std::uint8_t headValid;
+    std::uint8_t lastValid;
+    std::uint32_t headPc;
+    std::uint64_t headSeq;
+    std::uint32_t lastPc;
+    std::uint16_t lastPsv;
+};
+
+struct DiskUop
+{
+    std::uint64_t seq;
+    std::uint64_t cycle;
+    std::uint32_t pc;
+    std::uint16_t psv; // retire only
+};
+
+struct DiskCommitted
+{
+    std::uint64_t seq;
+    std::uint32_t pc;
+    std::uint16_t psv;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        tea_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+void
+TraceWriter::put(const void *data, std::size_t bytes)
+{
+    tea_assert(file_, "trace file '%s' already closed", path_.c_str());
+    if (std::fwrite(data, 1, bytes, file_) != bytes)
+        tea_fatal("short write to trace file '%s'", path_.c_str());
+}
+
+void
+TraceWriter::onCycle(const CycleRecord &rec)
+{
+    put(&tagCycle, 1);
+    DiskCycle d{rec.cycle,
+                static_cast<std::uint8_t>(rec.state),
+                rec.numCommitted,
+                static_cast<std::uint8_t>(rec.headValid),
+                static_cast<std::uint8_t>(rec.lastValid),
+                rec.headPc,
+                rec.headSeq,
+                rec.lastPc,
+                rec.lastPsv.bits()};
+    put(&d, sizeof(d));
+    for (unsigned i = 0; i < rec.numCommitted; ++i) {
+        DiskCommitted c{rec.committed[i].seq, rec.committed[i].pc,
+                        rec.committed[i].psv.bits()};
+        put(&c, sizeof(c));
+    }
+    ++events_;
+}
+
+void
+TraceWriter::onDispatch(const UopRecord &rec)
+{
+    put(&tagDispatch, 1);
+    DiskUop d{rec.seq, rec.cycle, rec.pc, 0};
+    put(&d, sizeof(d));
+    ++events_;
+}
+
+void
+TraceWriter::onFetch(const UopRecord &rec)
+{
+    put(&tagFetch, 1);
+    DiskUop d{rec.seq, rec.cycle, rec.pc, 0};
+    put(&d, sizeof(d));
+    ++events_;
+}
+
+void
+TraceWriter::onRetire(const RetireRecord &rec)
+{
+    put(&tagRetire, 1);
+    DiskUop d{rec.seq, rec.cycle, rec.pc, rec.psv.bits()};
+    put(&d, sizeof(d));
+    ++events_;
+}
+
+void
+TraceWriter::onEnd(Cycle final_cycle)
+{
+    put(&tagEnd, 1);
+    put(&final_cycle, sizeof(final_cycle));
+    ++events_;
+    close();
+}
+
+Cycle
+replayTrace(const std::string &path,
+            const std::vector<TraceSink *> &sinks)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        tea_fatal("cannot open trace file '%s'", path.c_str());
+
+    auto get = [&](void *data, std::size_t bytes) {
+        if (std::fread(data, 1, bytes, f) != bytes)
+            tea_fatal("truncated trace file '%s'", path.c_str());
+    };
+
+    Cycle cycles = 0;
+    std::uint8_t tag = 0;
+    while (std::fread(&tag, 1, 1, f) == 1) {
+        switch (tag) {
+          case tagCycle: {
+            DiskCycle d{};
+            get(&d, sizeof(d));
+            CycleRecord rec;
+            rec.cycle = d.cycle;
+            rec.state = static_cast<CommitState>(d.state);
+            rec.numCommitted = d.numCommitted;
+            rec.headValid = d.headValid;
+            rec.headPc = d.headPc;
+            rec.headSeq = d.headSeq;
+            rec.lastValid = d.lastValid;
+            rec.lastPc = d.lastPc;
+            rec.lastPsv = Psv(d.lastPsv);
+            for (unsigned i = 0; i < rec.numCommitted; ++i) {
+                DiskCommitted c{};
+                get(&c, sizeof(c));
+                rec.committed[i] = CommittedUop{c.seq, c.pc, Psv(c.psv)};
+            }
+            ++cycles;
+            for (TraceSink *s : sinks)
+                s->onCycle(rec);
+            break;
+          }
+          case tagDispatch:
+          case tagFetch: {
+            DiskUop d{};
+            get(&d, sizeof(d));
+            UopRecord rec{d.seq, d.pc, d.cycle};
+            for (TraceSink *s : sinks) {
+                if (tag == tagDispatch)
+                    s->onDispatch(rec);
+                else
+                    s->onFetch(rec);
+            }
+            break;
+          }
+          case tagRetire: {
+            DiskUop d{};
+            get(&d, sizeof(d));
+            RetireRecord rec{d.seq, d.pc, Psv(d.psv), d.cycle};
+            for (TraceSink *s : sinks)
+                s->onRetire(rec);
+            break;
+          }
+          case tagEnd: {
+            Cycle final_cycle = 0;
+            get(&final_cycle, sizeof(final_cycle));
+            for (TraceSink *s : sinks)
+                s->onEnd(final_cycle);
+            break;
+          }
+          default:
+            tea_fatal("corrupt trace file '%s': bad tag %u",
+                      path.c_str(), tag);
+        }
+    }
+    std::fclose(f);
+    return cycles;
+}
+
+} // namespace tea

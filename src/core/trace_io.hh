@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cycle-trace serialization (the TraceDoctor role in the paper's §4):
+ * dump the full cycle-by-cycle trace of one simulation to a binary file
+ * and replay it later through any set of TraceSinks. This is what lets
+ * many analysis configurations be evaluated out-of-band from a single
+ * simulation run.
+ */
+
+#ifndef TEA_CORE_TRACE_IO_HH
+#define TEA_CORE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace tea {
+
+/** TraceSink that streams every trace event to a binary file. */
+class TraceWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing (fatal on failure). */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void onCycle(const CycleRecord &rec) override;
+    void onDispatch(const UopRecord &rec) override;
+    void onFetch(const UopRecord &rec) override;
+    void onRetire(const RetireRecord &rec) override;
+    void onEnd(Cycle final_cycle) override;
+
+    /** Events written so far. */
+    std::uint64_t eventsWritten() const { return events_; }
+
+    /** Flush and close the file (also done by the destructor). */
+    void close();
+
+  private:
+    void put(const void *data, std::size_t bytes);
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t events_ = 0;
+};
+
+/**
+ * Replay a trace file through @p sinks, delivering events in the exact
+ * order the simulation produced them. @return number of replayed cycles
+ */
+Cycle replayTrace(const std::string &path,
+                  const std::vector<TraceSink *> &sinks);
+
+} // namespace tea
+
+#endif // TEA_CORE_TRACE_IO_HH

@@ -1,0 +1,125 @@
+#include "events/event.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+const char *
+eventName(Event e)
+{
+    switch (e) {
+      case Event::DrL1: return "DR-L1";
+      case Event::DrTlb: return "DR-TLB";
+      case Event::DrSq: return "DR-SQ";
+      case Event::FlMb: return "FL-MB";
+      case Event::FlEx: return "FL-EX";
+      case Event::FlMo: return "FL-MO";
+      case Event::StL1: return "ST-L1";
+      case Event::StTlb: return "ST-TLB";
+      case Event::StLlc: return "ST-LLC";
+    }
+    tea_panic("unknown event %d", static_cast<int>(e));
+}
+
+const char *
+eventDescription(Event e)
+{
+    switch (e) {
+      case Event::DrL1: return "L1 instruction cache miss";
+      case Event::DrTlb: return "L1 instruction TLB miss";
+      case Event::DrSq: return "Store instruction stalled at dispatch";
+      case Event::FlMb: return "Mispredicted branch";
+      case Event::FlEx: return "Instruction caused exception";
+      case Event::FlMo: return "Memory ordering violation";
+      case Event::StL1: return "L1 data cache miss";
+      case Event::StTlb: return "L1 data TLB miss";
+      case Event::StLlc: return "LLC miss caused by a load instruction";
+    }
+    tea_panic("unknown event %d", static_cast<int>(e));
+}
+
+const char *
+commitStateName(CommitState s)
+{
+    switch (s) {
+      case CommitState::Compute: return "Compute";
+      case CommitState::Stalled: return "Stalled";
+      case CommitState::Drained: return "Drained";
+      case CommitState::Flushed: return "Flushed";
+    }
+    tea_panic("unknown commit state %d", static_cast<int>(s));
+}
+
+std::string
+Psv::name() const
+{
+    if (empty())
+        return "Base";
+    std::string out;
+    for (unsigned i = 0; i < numEvents; ++i) {
+        auto e = static_cast<Event>(i);
+        if (test(e)) {
+            if (!out.empty())
+                out += '+';
+            out += eventName(e);
+        }
+    }
+    return out;
+}
+
+const EventSet &
+teaEventSet()
+{
+    static const EventSet set{
+        "TEA",
+        eventMask({Event::DrL1, Event::DrTlb, Event::DrSq, Event::FlMb,
+                   Event::FlEx, Event::FlMo, Event::StL1, Event::StTlb,
+                   Event::StLlc})};
+    return set;
+}
+
+const EventSet &
+ibsEventSet()
+{
+    // Reconstructed best-effort set (6 bits, see DESIGN.md): IBS op/fetch
+    // sampling reports front-end fetch events, branch mispredicts and the
+    // data-side miss trio, but neither DR-SQ nor flush-class causes.
+    static const EventSet set{
+        "IBS",
+        eventMask({Event::DrL1, Event::DrTlb, Event::FlMb, Event::StL1,
+                   Event::StTlb, Event::StLlc})};
+    return set;
+}
+
+const EventSet &
+speEventSet()
+{
+    // Reconstructed best-effort set (5 bits, see DESIGN.md): SPE packets
+    // carry mispredict, ordering-violation and data-side miss events but
+    // no instruction-side events.
+    static const EventSet set{
+        "SPE",
+        eventMask({Event::FlMb, Event::FlMo, Event::StL1, Event::StTlb,
+                   Event::StLlc})};
+    return set;
+}
+
+const EventSet &
+risEventSet()
+{
+    // Reconstructed best-effort set (7 bits, see DESIGN.md): POWER9 RIS
+    // reports front-end, exception and data-side events, but not DR-SQ.
+    static const EventSet set{
+        "RIS",
+        eventMask({Event::DrL1, Event::DrTlb, Event::FlMb, Event::FlEx,
+                   Event::StL1, Event::StTlb, Event::StLlc})};
+    return set;
+}
+
+std::array<const EventSet *, 4>
+table1EventSets()
+{
+    return {&teaEventSet(), &ibsEventSet(), &speEventSet(), &risEventSet()};
+}
+
+} // namespace tea

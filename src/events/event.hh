@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The nine TEA performance events, the commit states they explain, and the
+ * Performance Signature Vector (PSV) bit-vector type.
+ *
+ * Events are named X-Y where X is the commit state the event explains
+ * (DR = Drained, ST = Stalled, FL = Flushed) and Y is the event itself,
+ * following Table 1 of the paper.
+ */
+
+#ifndef TEA_EVENTS_EVENT_HH
+#define TEA_EVENTS_EVENT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tea {
+
+/** The nine performance events tracked by TEA (Table 1). */
+enum class Event : std::uint8_t
+{
+    DrL1 = 0,  ///< L1 instruction cache miss
+    DrTlb = 1, ///< L1 instruction TLB miss
+    DrSq = 2,  ///< Store instruction stalled at dispatch (LSQ full)
+    FlMb = 3,  ///< Mispredicted branch
+    FlEx = 4,  ///< Instruction caused exception / always-flushing op
+    FlMo = 5,  ///< Memory ordering violation
+    StL1 = 6,  ///< L1 data cache miss
+    StTlb = 7, ///< L1 data TLB miss
+    StLlc = 8, ///< LLC miss caused by a load instruction
+};
+
+/** Number of distinct performance events. */
+inline constexpr unsigned numEvents = 9;
+
+/** Short name, e.g. "ST-L1". */
+const char *eventName(Event e);
+
+/** Human-readable description (Table 1's middle column). */
+const char *eventDescription(Event e);
+
+/**
+ * The four commit states of a time-proportional profiler (Section 2).
+ */
+enum class CommitState : std::uint8_t
+{
+    Compute = 0, ///< one or more instructions committing
+    Stalled = 1, ///< head of ROB not fully executed
+    Drained = 2, ///< ROB empty due to a front-end stall
+    Flushed = 3, ///< ROB empty due to a pipeline flush
+};
+
+/** Short name, e.g. "Stalled". */
+const char *commitStateName(CommitState s);
+
+/**
+ * Performance Signature Vector: one bit per supported performance event.
+ *
+ * A 9-bit vector in the TEA configuration; comparison techniques use
+ * masked subsets (EventSet).
+ */
+class Psv
+{
+  public:
+    constexpr Psv() = default;
+    constexpr explicit Psv(std::uint16_t bits) : bits_(bits) {}
+
+    /** Set the bit for @p e. */
+    constexpr void set(Event e)
+    {
+        bits_ |= static_cast<std::uint16_t>(
+            1u << static_cast<unsigned>(e));
+    }
+
+    /** Test the bit for @p e. */
+    constexpr bool test(Event e) const
+    {
+        return bits_ & (1u << static_cast<unsigned>(e));
+    }
+
+    /** True when no event bit is set (the 'Base' signature). */
+    constexpr bool empty() const { return bits_ == 0; }
+
+    /** Number of set bits. */
+    unsigned popcount() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(bits_));
+    }
+
+    /** Raw bit representation. */
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Merge in all bits of @p other. */
+    constexpr void merge(Psv other) { bits_ |= other.bits_; }
+
+    /** Return this PSV restricted to the events in @p mask. */
+    constexpr Psv masked(std::uint16_t mask) const
+    {
+        return Psv(static_cast<std::uint16_t>(bits_ & mask));
+    }
+
+    /** Clear all bits. */
+    constexpr void clear() { bits_ = 0; }
+
+    constexpr bool operator==(const Psv &) const = default;
+
+    /**
+     * Render the signature as a '+'-joined list of event names, or "Base"
+     * when empty, e.g. "ST-L1+ST-TLB".
+     */
+    std::string name() const;
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/**
+ * A named subset of the nine events: the vocabulary a given analysis
+ * technique supports (Table 1 columns).
+ */
+struct EventSet
+{
+    const char *name;    ///< e.g. "TEA", "IBS"
+    std::uint16_t mask;  ///< bit i set iff Event(i) is supported
+
+    /** Whether @p e is in the set. */
+    bool contains(Event e) const
+    {
+        return mask & (1u << static_cast<unsigned>(e));
+    }
+
+    /** Number of events in the set (PSV storage bits). */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(mask));
+    }
+};
+
+/** Mask helper: build an EventSet mask from a list of events. */
+constexpr std::uint16_t
+eventMask(std::initializer_list<Event> events)
+{
+    std::uint16_t m = 0;
+    for (Event e : events)
+        m = static_cast<std::uint16_t>(
+            m | (1u << static_cast<unsigned>(e)));
+    return m;
+}
+
+/** The full nine-event TEA set. */
+const EventSet &teaEventSet();
+/** AMD IBS best-effort set (6 events, dispatch tagging). */
+const EventSet &ibsEventSet();
+/** Arm SPE best-effort set (5 events, dispatch tagging). */
+const EventSet &speEventSet();
+/** IBM RIS best-effort set (7 events, fetch tagging). */
+const EventSet &risEventSet();
+
+/** All four Table 1 event sets, in paper column order. */
+std::array<const EventSet *, 4> table1EventSets();
+
+} // namespace tea
+
+#endif // TEA_EVENTS_EVENT_HH

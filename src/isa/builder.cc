@@ -1,0 +1,339 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+#include "isa/executor.hh"
+
+namespace tea {
+
+ProgramBuilder::ProgramBuilder(std::string name) : prog_(std::move(name)) {}
+
+Label
+ProgramBuilder::label()
+{
+    labelPositions_.push_back(invalidInstIndex);
+    return Label(labelPositions_.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    tea_assert(l.id_ < labelPositions_.size(), "unknown label");
+    tea_assert(labelPositions_[l.id_] == invalidInstIndex,
+               "label bound twice");
+    labelPositions_[l.id_] = nextIndex();
+}
+
+Label
+ProgramBuilder::here()
+{
+    Label l = label();
+    bind(l);
+    return l;
+}
+
+void
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    tea_assert(!inFunction_, "nested beginFunction(%s)", name.c_str());
+    inFunction_ = true;
+    currentFunction_ = name;
+    functionStart_ = nextIndex();
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    tea_assert(inFunction_, "endFunction without beginFunction");
+    inFunction_ = false;
+    prog_.addFunction(
+        Symbol{currentFunction_, functionStart_, nextIndex()});
+}
+
+Program
+ProgramBuilder::build()
+{
+    tea_assert(!built_, "build() called twice");
+    tea_assert(!inFunction_, "unterminated function %s",
+               currentFunction_.c_str());
+    for (const Fixup &f : fixups_) {
+        InstIndex pos = labelPositions_[f.label];
+        tea_assert(pos != invalidInstIndex,
+                   "unbound label referenced at instruction %u", f.inst);
+        prog_.instMutable(f.inst).target = pos;
+    }
+    built_ = true;
+    return std::move(prog_);
+}
+
+InstIndex
+ProgramBuilder::nextIndex() const
+{
+    return prog_.size();
+}
+
+InstIndex
+ProgramBuilder::emit(const StaticInst &inst)
+{
+    InstIndex idx = nextIndex();
+    prog_.append(inst);
+    return idx;
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit({Op::Nop});
+}
+
+void
+ProgramBuilder::add(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Add, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::sub(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Sub, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::and_(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::And, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::or_(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Or, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::xor_(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Xor, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::shl(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Shl, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::shr(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Shr, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::addi(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::AddI, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::andi(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::AndI, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::shli(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::ShlI, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::shri(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::ShrI, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::li(RegId rd, std::int64_t imm)
+{
+    emit({Op::Li, rd, noReg, noReg, imm});
+}
+
+void
+ProgramBuilder::slt(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Slt, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::slti(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::SltI, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::mul(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Mul, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::div(RegId rd, RegId rs1, RegId rs2)
+{
+    emit({Op::Div, rd, rs1, rs2});
+}
+
+void
+ProgramBuilder::mov(RegId rd, RegId rs1)
+{
+    emit({Op::AddI, rd, rs1, noReg, 0});
+}
+
+void
+ProgramBuilder::ld(RegId rd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::Ld, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::st(RegId rs1, std::int64_t imm, RegId rs2)
+{
+    emit({Op::St, noReg, rs1, rs2, imm});
+}
+
+void
+ProgramBuilder::fld(RegId fd, RegId rs1, std::int64_t imm)
+{
+    emit({Op::Fld, fd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::fst(RegId rs1, std::int64_t imm, RegId fs2)
+{
+    emit({Op::Fst, noReg, rs1, fs2, imm});
+}
+
+void
+ProgramBuilder::prefetch(RegId rs1, std::int64_t imm)
+{
+    emit({Op::Prefetch, noReg, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::fadd(RegId fd, RegId fs1, RegId fs2)
+{
+    emit({Op::FAdd, fd, fs1, fs2});
+}
+
+void
+ProgramBuilder::fsub(RegId fd, RegId fs1, RegId fs2)
+{
+    emit({Op::FSub, fd, fs1, fs2});
+}
+
+void
+ProgramBuilder::fmul(RegId fd, RegId fs1, RegId fs2)
+{
+    emit({Op::FMul, fd, fs1, fs2});
+}
+
+void
+ProgramBuilder::fdiv(RegId fd, RegId fs1, RegId fs2)
+{
+    emit({Op::FDiv, fd, fs1, fs2});
+}
+
+void
+ProgramBuilder::fsqrt(RegId fd, RegId fs1)
+{
+    emit({Op::FSqrt, fd, fs1, noReg});
+}
+
+void
+ProgramBuilder::fmov(RegId fd, RegId fs1)
+{
+    emit({Op::FMov, fd, fs1, noReg});
+}
+
+void
+ProgramBuilder::fli(RegId fd, double value)
+{
+    emit({Op::FLi, fd, noReg, noReg,
+          static_cast<std::int64_t>(doubleToBits(value))});
+}
+
+void
+ProgramBuilder::fcmplt(RegId rd, RegId fs1, RegId fs2)
+{
+    emit({Op::FCmpLt, rd, fs1, fs2});
+}
+
+void
+ProgramBuilder::emitBranch(Op op, RegId rs1, RegId rs2, Label target)
+{
+    tea_assert(target.id_ < labelPositions_.size(), "unknown label");
+    InstIndex idx = emit({op, noReg, rs1, rs2});
+    fixups_.push_back(Fixup{idx, target.id_});
+}
+
+void
+ProgramBuilder::beq(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Op::Beq, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bne(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Op::Bne, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::blt(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Op::Blt, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bge(RegId rs1, RegId rs2, Label target)
+{
+    emitBranch(Op::Bge, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    emitBranch(Op::Jmp, noReg, noReg, target);
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    tea_assert(target.id_ < labelPositions_.size(), "unknown label");
+    InstIndex idx = emit({Op::Call, linkReg, noReg, noReg});
+    fixups_.push_back(Fixup{idx, target.id_});
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit({Op::Ret, noReg, linkReg, noReg});
+}
+
+void
+ProgramBuilder::fsflags()
+{
+    emit({Op::FsFlags});
+}
+
+void
+ProgramBuilder::frflags()
+{
+    emit({Op::FrFlags});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({Op::Halt});
+}
+
+} // namespace tea

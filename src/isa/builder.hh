@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Assembler-style Program construction with forward-referencable labels
+ * and function symbols. All synthetic workloads are written against this
+ * API.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder b("loop");
+ *   b.beginFunction("main");
+ *   b.li(x(2), 0);                 // i = 0
+ *   auto top = b.label();
+ *   b.bind(top);
+ *   b.addi(x(2), x(2), 1);
+ *   b.li(x(3), 100);
+ *   b.blt(x(2), x(3), top);        // while (i < 100)
+ *   b.halt();
+ *   b.endFunction();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef TEA_ISA_BUILDER_HH
+#define TEA_ISA_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tea {
+
+/** Forward-referencable code label handle. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(std::size_t id) : id_(id) {}
+    std::size_t id_ = SIZE_MAX;
+};
+
+/** Builder producing Programs from an assembler-like instruction API. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /** Create a fresh unbound label. */
+    Label label();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Create a label bound at the current position. */
+    Label here();
+
+    /** Start a function symbol covering subsequently emitted code. */
+    void beginFunction(const std::string &name);
+
+    /** Close the current function symbol. */
+    void endFunction();
+
+    /** Finalize: patch label fixups and return the program. */
+    Program build();
+
+    /** Index the next instruction will occupy. */
+    InstIndex nextIndex() const;
+
+    // --- raw emission -----------------------------------------------
+    InstIndex emit(const StaticInst &inst);
+
+    // --- integer ALU -------------------------------------------------
+    void nop();
+    void add(RegId rd, RegId rs1, RegId rs2);
+    void sub(RegId rd, RegId rs1, RegId rs2);
+    void and_(RegId rd, RegId rs1, RegId rs2);
+    void or_(RegId rd, RegId rs1, RegId rs2);
+    void xor_(RegId rd, RegId rs1, RegId rs2);
+    void shl(RegId rd, RegId rs1, RegId rs2);
+    void shr(RegId rd, RegId rs1, RegId rs2);
+    void addi(RegId rd, RegId rs1, std::int64_t imm);
+    void andi(RegId rd, RegId rs1, std::int64_t imm);
+    void shli(RegId rd, RegId rs1, std::int64_t imm);
+    void shri(RegId rd, RegId rs1, std::int64_t imm);
+    void li(RegId rd, std::int64_t imm);
+    void slt(RegId rd, RegId rs1, RegId rs2);
+    void slti(RegId rd, RegId rs1, std::int64_t imm);
+    void mul(RegId rd, RegId rs1, RegId rs2);
+    void div(RegId rd, RegId rs1, RegId rs2);
+    void mov(RegId rd, RegId rs1);
+
+    // --- memory -------------------------------------------------------
+    void ld(RegId rd, RegId rs1, std::int64_t imm = 0);
+    void st(RegId rs1, std::int64_t imm, RegId rs2);
+    void fld(RegId fd, RegId rs1, std::int64_t imm = 0);
+    void fst(RegId rs1, std::int64_t imm, RegId fs2);
+    void prefetch(RegId rs1, std::int64_t imm = 0);
+
+    // --- floating point -----------------------------------------------
+    void fadd(RegId fd, RegId fs1, RegId fs2);
+    void fsub(RegId fd, RegId fs1, RegId fs2);
+    void fmul(RegId fd, RegId fs1, RegId fs2);
+    void fdiv(RegId fd, RegId fs1, RegId fs2);
+    void fsqrt(RegId fd, RegId fs1);
+    void fmov(RegId fd, RegId fs1);
+    void fli(RegId fd, double value);
+    void fcmplt(RegId rd, RegId fs1, RegId fs2);
+
+    // --- control flow ---------------------------------------------------
+    void beq(RegId rs1, RegId rs2, Label target);
+    void bne(RegId rs1, RegId rs2, Label target);
+    void blt(RegId rs1, RegId rs2, Label target);
+    void bge(RegId rs1, RegId rs2, Label target);
+    void jmp(Label target);
+    void call(Label target);
+    void ret();
+
+    // --- system ---------------------------------------------------------
+    void fsflags();
+    void frflags();
+    void halt();
+
+  private:
+    void emitBranch(Op op, RegId rs1, RegId rs2, Label target);
+
+    Program prog_;
+    std::vector<InstIndex> labelPositions_; ///< bound position per label
+    struct Fixup
+    {
+        InstIndex inst;
+        std::size_t label;
+    };
+    std::vector<Fixup> fixups_;
+    std::string currentFunction_;
+    InstIndex functionStart_ = 0;
+    bool inFunction_ = false;
+    bool built_ = false;
+};
+
+} // namespace tea
+
+#endif // TEA_ISA_BUILDER_HH

@@ -1,0 +1,87 @@
+#include "isa/disasm.hh"
+
+#include "common/logging.hh"
+#include "isa/executor.hh"
+
+namespace tea {
+
+std::string
+regName(RegId r)
+{
+    if (r == noReg)
+        return "-";
+    if (r < 32)
+        return "x" + std::to_string(r);
+    return "f" + std::to_string(r - 32);
+}
+
+std::string
+disassemble(const StaticInst &si)
+{
+    std::string out = opName(si.op);
+    auto pad = [&]() { out += ' '; };
+
+    switch (opClass(si.op)) {
+      case InstClass::IntAlu:
+      case InstClass::IntMul:
+      case InstClass::IntDiv:
+      case InstClass::FpAlu:
+      case InstClass::FpDiv:
+      case InstClass::FpSqrt:
+        pad();
+        if (si.op == Op::Li) {
+            out += regName(si.rd) + ", " + std::to_string(si.imm);
+        } else if (si.op == Op::FLi) {
+            out += regName(si.rd) + ", " +
+                   strprintf("%g", bitsToDouble(
+                                       static_cast<std::uint64_t>(si.imm)));
+        } else if (si.rs2 == noReg) {
+            out += regName(si.rd) + ", " + regName(si.rs1);
+            if (si.op == Op::AddI || si.op == Op::AndI ||
+                si.op == Op::ShlI || si.op == Op::ShrI ||
+                si.op == Op::SltI) {
+                out += ", " + std::to_string(si.imm);
+            }
+        } else {
+            out += regName(si.rd) + ", " + regName(si.rs1) + ", " +
+                   regName(si.rs2);
+        }
+        break;
+      case InstClass::Load:
+        pad();
+        out += regName(si.rd) + ", " + std::to_string(si.imm) + "(" +
+               regName(si.rs1) + ")";
+        break;
+      case InstClass::Store:
+        pad();
+        out += regName(si.rs2) + ", " + std::to_string(si.imm) + "(" +
+               regName(si.rs1) + ")";
+        break;
+      case InstClass::Prefetch:
+        pad();
+        out += std::to_string(si.imm) + "(" + regName(si.rs1) + ")";
+        break;
+      case InstClass::Branch:
+        if (si.op == Op::Ret)
+            break;
+        pad();
+        if (isCondBranch(si.op))
+            out += regName(si.rs1) + ", " + regName(si.rs2) + ", ";
+        out += "@" + std::to_string(si.target);
+        break;
+      case InstClass::Csr:
+      case InstClass::Nop:
+        break;
+    }
+    return out;
+}
+
+std::string
+disassemble(const Program &prog, InstIndex idx)
+{
+    return strprintf("[%6u @%#07lx] %s", idx,
+                     static_cast<unsigned long>(prog.pcOf(idx)),
+                     disassemble(prog.inst(idx)).c_str());
+}
+
+} // namespace tea

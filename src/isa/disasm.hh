@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Disassembly of static instructions for PICS reports.
+ */
+
+#ifndef TEA_ISA_DISASM_HH
+#define TEA_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace tea {
+
+/** Render register @p r as "xN" or "fN". */
+std::string regName(RegId r);
+
+/** Render one instruction, e.g. "fld f2, 16(x5)". */
+std::string disassemble(const StaticInst &inst);
+
+/** Render an instruction with its index and pc. */
+std::string disassemble(const Program &prog, InstIndex idx);
+
+} // namespace tea
+
+#endif // TEA_ISA_DISASM_HH

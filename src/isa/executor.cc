@@ -1,0 +1,211 @@
+#include "isa/executor.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t
+doubleToBits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+ArchState::fpReg(RegId r) const
+{
+    return bitsToDouble(regs[r]);
+}
+
+void
+ArchState::setFpReg(RegId r, double v)
+{
+    if (r != noReg)
+        regs[r] = doubleToBits(v);
+}
+
+ExecResult
+execute(const Program &prog, InstIndex pc, ArchState &st)
+{
+    const StaticInst &si = prog.inst(pc);
+    ExecResult res;
+    res.nextPc = pc + 1;
+
+    auto branch_to = [&](bool taken) {
+        res.taken = taken;
+        if (taken)
+            res.nextPc = si.target;
+    };
+
+    switch (si.op) {
+      case Op::Nop:
+        break;
+      case Op::Add:
+        st.setReg(si.rd, st.reg(si.rs1) + st.reg(si.rs2));
+        break;
+      case Op::Sub:
+        st.setReg(si.rd, st.reg(si.rs1) - st.reg(si.rs2));
+        break;
+      case Op::And:
+        st.setReg(si.rd, st.reg(si.rs1) & st.reg(si.rs2));
+        break;
+      case Op::Or:
+        st.setReg(si.rd, st.reg(si.rs1) | st.reg(si.rs2));
+        break;
+      case Op::Xor:
+        st.setReg(si.rd, st.reg(si.rs1) ^ st.reg(si.rs2));
+        break;
+      case Op::Shl:
+        st.setReg(si.rd, st.reg(si.rs1) << (st.reg(si.rs2) & 63));
+        break;
+      case Op::Shr:
+        st.setReg(si.rd, st.reg(si.rs1) >> (st.reg(si.rs2) & 63));
+        break;
+      case Op::AddI:
+        st.setReg(si.rd,
+                  st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm));
+        break;
+      case Op::AndI:
+        st.setReg(si.rd,
+                  st.reg(si.rs1) & static_cast<std::uint64_t>(si.imm));
+        break;
+      case Op::ShlI:
+        st.setReg(si.rd, st.reg(si.rs1) << (si.imm & 63));
+        break;
+      case Op::ShrI:
+        st.setReg(si.rd, st.reg(si.rs1) >> (si.imm & 63));
+        break;
+      case Op::Li:
+        st.setReg(si.rd, static_cast<std::uint64_t>(si.imm));
+        break;
+      case Op::Slt:
+        st.setReg(si.rd, static_cast<std::int64_t>(st.reg(si.rs1)) <
+                                 static_cast<std::int64_t>(st.reg(si.rs2))
+                             ? 1
+                             : 0);
+        break;
+      case Op::SltI:
+        st.setReg(si.rd,
+                  static_cast<std::int64_t>(st.reg(si.rs1)) < si.imm ? 1
+                                                                     : 0);
+        break;
+      case Op::Mul:
+        st.setReg(si.rd, st.reg(si.rs1) * st.reg(si.rs2));
+        break;
+      case Op::Div: {
+        std::uint64_t d = st.reg(si.rs2);
+        st.setReg(si.rd, d == 0 ? 0 : st.reg(si.rs1) / d);
+        break;
+      }
+      case Op::Ld: {
+        res.memAddr = st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm);
+        res.isMem = true;
+        st.setReg(si.rd, st.mem.read(res.memAddr & ~Addr(7)));
+        break;
+      }
+      case Op::St: {
+        res.memAddr = st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm);
+        res.isMem = true;
+        st.mem.write(res.memAddr & ~Addr(7), st.reg(si.rs2));
+        break;
+      }
+      case Op::Fld: {
+        res.memAddr = st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm);
+        res.isMem = true;
+        st.setReg(si.rd, st.mem.read(res.memAddr & ~Addr(7)));
+        break;
+      }
+      case Op::Fst: {
+        res.memAddr = st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm);
+        res.isMem = true;
+        st.mem.write(res.memAddr & ~Addr(7), st.regs[si.rs2]);
+        break;
+      }
+      case Op::Prefetch: {
+        res.memAddr = st.reg(si.rs1) + static_cast<std::uint64_t>(si.imm);
+        res.isMem = true;
+        break;
+      }
+      case Op::FAdd:
+        st.setFpReg(si.rd, st.fpReg(si.rs1) + st.fpReg(si.rs2));
+        break;
+      case Op::FSub:
+        st.setFpReg(si.rd, st.fpReg(si.rs1) - st.fpReg(si.rs2));
+        break;
+      case Op::FMul:
+        st.setFpReg(si.rd, st.fpReg(si.rs1) * st.fpReg(si.rs2));
+        break;
+      case Op::FDiv: {
+        double d = st.fpReg(si.rs2);
+        st.setFpReg(si.rd, d == 0.0 ? 0.0 : st.fpReg(si.rs1) / d);
+        break;
+      }
+      case Op::FSqrt: {
+        double v = st.fpReg(si.rs1);
+        st.setFpReg(si.rd, v < 0.0 ? 0.0 : std::sqrt(v));
+        break;
+      }
+      case Op::FMov:
+        st.regs[si.rd] = st.regs[si.rs1];
+        break;
+      case Op::FLi:
+        st.regs[si.rd] = static_cast<std::uint64_t>(si.imm);
+        break;
+      case Op::FCmpLt:
+        st.setReg(si.rd, st.fpReg(si.rs1) < st.fpReg(si.rs2) ? 1 : 0);
+        break;
+      case Op::Beq:
+        branch_to(st.reg(si.rs1) == st.reg(si.rs2));
+        break;
+      case Op::Bne:
+        branch_to(st.reg(si.rs1) != st.reg(si.rs2));
+        break;
+      case Op::Blt:
+        branch_to(static_cast<std::int64_t>(st.reg(si.rs1)) <
+                  static_cast<std::int64_t>(st.reg(si.rs2)));
+        break;
+      case Op::Bge:
+        branch_to(static_cast<std::int64_t>(st.reg(si.rs1)) >=
+                  static_cast<std::int64_t>(st.reg(si.rs2)));
+        break;
+      case Op::Jmp:
+        branch_to(true);
+        break;
+      case Op::Call:
+        st.setReg(si.rd == noReg ? linkReg : si.rd, pc + 1);
+        branch_to(true);
+        break;
+      case Op::Ret:
+        res.taken = true;
+        res.nextPc = static_cast<InstIndex>(
+            st.reg(si.rs1 == noReg ? linkReg : si.rs1));
+        break;
+      case Op::FsFlags:
+      case Op::FrFlags:
+        // CSR side effects are irrelevant to the timing study; the
+        // always-flush behaviour is what matters.
+        break;
+      case Op::Halt:
+        res.halted = true;
+        res.nextPc = pc;
+        break;
+      case Op::NumOps:
+        tea_panic("executed invalid opcode");
+    }
+
+    return res;
+}
+
+} // namespace tea

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional (oracle) execution of the mini-RISC ISA.
+ *
+ * The timing model executes instructions functionally at fetch along the
+ * correct path and replays the recorded outcomes (branch directions,
+ * memory addresses) through the out-of-order timing pipeline, the standard
+ * "execute-at-fetch" simulator organization.
+ */
+
+#ifndef TEA_ISA_EXECUTOR_HH
+#define TEA_ISA_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/memory.hh"
+#include "isa/program.hh"
+#include "isa/static_inst.hh"
+
+namespace tea {
+
+/** Architectural register and memory state. */
+struct ArchState
+{
+    /** 64 registers: 0..31 integer (x0 == 0), 32..63 FP bit patterns. */
+    std::array<std::uint64_t, numArchRegs> regs{};
+
+    /** Data memory. */
+    SparseMemory mem;
+
+    /** Read register @p r (x0 reads as zero). */
+    std::uint64_t reg(RegId r) const { return r == zeroReg ? 0 : regs[r]; }
+
+    /** Write register @p r (writes to x0 are dropped). */
+    void
+    setReg(RegId r, std::uint64_t v)
+    {
+        if (r != zeroReg && r != noReg)
+            regs[r] = v;
+    }
+
+    /** Read an FP register as a double. */
+    double fpReg(RegId r) const;
+
+    /** Write an FP register from a double. */
+    void setFpReg(RegId r, double v);
+};
+
+/** Outcome of functionally executing one instruction. */
+struct ExecResult
+{
+    InstIndex nextPc = 0;       ///< index of the next instruction
+    bool taken = false;         ///< control flow: branch/jump taken
+    Addr memAddr = 0;           ///< effective address for memory ops
+    bool isMem = false;         ///< memAddr is valid
+    bool halted = false;        ///< program terminated
+};
+
+/**
+ * Functionally execute the instruction at @p pc, updating @p state.
+ */
+ExecResult execute(const Program &prog, InstIndex pc, ArchState &state);
+
+/** Bit-cast helpers. */
+double bitsToDouble(std::uint64_t bits);
+std::uint64_t doubleToBits(double d);
+
+} // namespace tea
+
+#endif // TEA_ISA_EXECUTOR_HH

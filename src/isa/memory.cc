@@ -1,0 +1,48 @@
+#include "isa/memory.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+std::uint64_t
+SparseMemory::read(Addr addr) const
+{
+    tea_assert((addr & 7) == 0, "unaligned read at %#lx",
+               static_cast<unsigned long>(addr));
+    auto it = pages_.find(pageOf(addr));
+    if (it == pages_.end())
+        return 0;
+    return it->second[(addr % pageBytes) / 8];
+}
+
+void
+SparseMemory::write(Addr addr, std::uint64_t value)
+{
+    tea_assert((addr & 7) == 0, "unaligned write at %#lx",
+               static_cast<unsigned long>(addr));
+    auto [it, inserted] = pages_.try_emplace(pageOf(addr));
+    if (inserted)
+        it->second.fill(0);
+    it->second[(addr % pageBytes) / 8] = value;
+}
+
+double
+SparseMemory::readDouble(Addr addr) const
+{
+    std::uint64_t bits = read(addr);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+void
+SparseMemory::writeDouble(Addr addr, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(addr, bits);
+}
+
+} // namespace tea

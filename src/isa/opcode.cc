@@ -1,0 +1,148 @@
+#include "isa/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::AddI: return "addi";
+      case Op::AndI: return "andi";
+      case Op::ShlI: return "shli";
+      case Op::ShrI: return "shri";
+      case Op::Li: return "li";
+      case Op::Slt: return "slt";
+      case Op::SltI: return "slti";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Ld: return "ld";
+      case Op::St: return "st";
+      case Op::Fld: return "fld";
+      case Op::Fst: return "fst";
+      case Op::Prefetch: return "prefetch";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::FSqrt: return "fsqrt";
+      case Op::FMov: return "fmov";
+      case Op::FLi: return "fli";
+      case Op::FCmpLt: return "flt";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Jmp: return "jmp";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::FsFlags: return "fsflags";
+      case Op::FrFlags: return "frflags";
+      case Op::Halt: return "halt";
+      case Op::NumOps: break;
+    }
+    tea_panic("unknown op %d", static_cast<int>(op));
+}
+
+InstClass
+opClass(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+        return InstClass::Nop;
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::AddI:
+      case Op::AndI:
+      case Op::ShlI:
+      case Op::ShrI:
+      case Op::Li:
+      case Op::Slt:
+      case Op::SltI:
+        return InstClass::IntAlu;
+      case Op::Mul:
+        return InstClass::IntMul;
+      case Op::Div:
+        return InstClass::IntDiv;
+      case Op::Ld:
+      case Op::Fld:
+        return InstClass::Load;
+      case Op::St:
+      case Op::Fst:
+        return InstClass::Store;
+      case Op::Prefetch:
+        return InstClass::Prefetch;
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul:
+      case Op::FMov:
+      case Op::FLi:
+      case Op::FCmpLt:
+        return InstClass::FpAlu;
+      case Op::FDiv:
+        return InstClass::FpDiv;
+      case Op::FSqrt:
+        return InstClass::FpSqrt;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Jmp:
+      case Op::Call:
+      case Op::Ret:
+        return InstClass::Branch;
+      case Op::FsFlags:
+      case Op::FrFlags:
+        return InstClass::Csr;
+      case Op::NumOps:
+        break;
+    }
+    tea_panic("unknown op %d", static_cast<int>(op));
+}
+
+bool
+isCondBranch(Op op)
+{
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt || op == Op::Bge;
+}
+
+bool
+isControl(Op op)
+{
+    return opClass(op) == InstClass::Branch;
+}
+
+bool
+isLoad(Op op)
+{
+    return op == Op::Ld || op == Op::Fld;
+}
+
+bool
+isStore(Op op)
+{
+    return op == Op::St || op == Op::Fst;
+}
+
+bool
+isAlwaysFlush(Op op)
+{
+    return opClass(op) == InstClass::Csr;
+}
+
+} // namespace tea

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static instruction representation.
+ */
+
+#ifndef TEA_ISA_STATIC_INST_HH
+#define TEA_ISA_STATIC_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace tea {
+
+/** Register id space: 0..31 integer (x), 32..63 floating point (f). */
+using RegId = std::uint8_t;
+
+/** Sentinel register id meaning "no operand". */
+inline constexpr RegId noReg = 255;
+
+/** Integer register xN. */
+constexpr RegId
+x(unsigned n)
+{
+    return static_cast<RegId>(n);
+}
+
+/** Floating-point register fN. */
+constexpr RegId
+f(unsigned n)
+{
+    return static_cast<RegId>(32 + n);
+}
+
+/** The always-zero integer register. */
+inline constexpr RegId zeroReg = 0;
+
+/** The link register used by Call/Ret (x1, RISC-V ra). */
+inline constexpr RegId linkReg = 1;
+
+/** Total architectural registers (32 int + 32 fp). */
+inline constexpr unsigned numArchRegs = 64;
+
+/**
+ * One static instruction of a Program.
+ *
+ * Branch/jump targets are static instruction indices (`target`), not byte
+ * addresses; the program's code base maps indices to byte addresses.
+ */
+struct StaticInst
+{
+    Op op = Op::Nop;
+    RegId rd = noReg;   ///< destination register
+    RegId rs1 = noReg;  ///< first source
+    RegId rs2 = noReg;  ///< second source (store data for St/Fst)
+    std::int64_t imm = 0;
+    InstIndex target = invalidInstIndex; ///< control-flow target index
+
+    /** Instruction class (issue routing). */
+    InstClass cls() const { return opClass(op); }
+
+    bool isLoad() const { return tea::isLoad(op); }
+    bool isStore() const { return tea::isStore(op); }
+    bool isControl() const { return tea::isControl(op); }
+    bool isCondBranch() const { return tea::isCondBranch(op); }
+    bool isAlwaysFlush() const { return tea::isAlwaysFlush(op); }
+    bool isMem() const
+    {
+        return isLoad() || isStore() || op == Op::Prefetch;
+    }
+
+    /** True when the instruction writes a register. */
+    bool hasDest() const { return rd != noReg && rd != zeroReg; }
+};
+
+} // namespace tea
+
+#endif // TEA_ISA_STATIC_INST_HH

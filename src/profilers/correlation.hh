@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Event-count versus performance-impact correlation (Fig 7): quantifies
+ * how well counting an event predicts the event's contribution to the
+ * golden cycle stacks, per event, across the static instructions of one
+ * benchmark.
+ */
+
+#ifndef TEA_PROFILERS_CORRELATION_HH
+#define TEA_PROFILERS_CORRELATION_HH
+
+#include <array>
+
+#include "events/event.hh"
+#include "profilers/golden.hh"
+
+namespace tea {
+
+/** Correlation result for one event in one benchmark. */
+struct EventCorrelation
+{
+    double r = 0.0;      ///< Pearson correlation coefficient
+    std::size_t n = 0;   ///< static instructions with the event
+    bool valid = false;  ///< n >= 3 and non-degenerate
+};
+
+/**
+ * For each event: the Pearson correlation, across static instructions
+ * that incurred the event at least once, between the instruction's
+ * dynamic event count and the golden-stack cycles attributed to the
+ * instruction under signatures containing the event.
+ */
+std::array<EventCorrelation, numEvents>
+eventImpactCorrelation(const GoldenReference &golden);
+
+} // namespace tea
+
+#endif // TEA_PROFILERS_CORRELATION_HH

@@ -1,0 +1,70 @@
+#include "profilers/golden.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+namespace {
+/** Upper bin of the per-instance stall histograms (cycles). */
+constexpr std::uint64_t stallHistMax = 512;
+} // namespace
+
+void
+GoldenReference::onCycle(const CycleRecord &rec)
+{
+    switch (rec.state) {
+      case CommitState::Compute: {
+        double share = 1.0 / rec.numCommitted;
+        for (unsigned i = 0; i < rec.numCommitted; ++i) {
+            const CommittedUop &u = rec.committed[i];
+            pics_.add(u.pc, u.psv, share);
+        }
+        break;
+      }
+      case CommitState::Stalled:
+      case CommitState::Drained:
+        // Attributed to the next-committing instruction; its PSV is only
+        // final at retire, so accumulate until the next onRetire.
+        pendingCycles_ += 1.0;
+        break;
+      case CommitState::Flushed:
+        if (rec.lastValid) {
+            pics_.add(rec.lastPc, rec.lastPsv, 1.0);
+        } else {
+            pendingCycles_ += 1.0; // start-up before any commit
+        }
+        break;
+    }
+}
+
+void
+GoldenReference::onRetire(const RetireRecord &rec)
+{
+    if (pendingCycles_ > 0.0) {
+        pics_.add(rec.pc, rec.psv, pendingCycles_);
+        auto [it, inserted] = stallHist_.try_emplace(rec.psv.bits(),
+                                                     stallHistMax);
+        it->second.add(static_cast<std::uint64_t>(pendingCycles_));
+        pendingCycles_ = 0.0;
+    } else {
+        auto [it, inserted] = stallHist_.try_emplace(rec.psv.bits(),
+                                                     stallHistMax);
+        it->second.add(0);
+    }
+
+    auto &counts = eventCounts_[rec.pc];
+    for (unsigned i = 0; i < numEvents; ++i) {
+        if (rec.psv.test(static_cast<Event>(i)))
+            ++counts[i];
+    }
+}
+
+void
+GoldenReference::onEnd(Cycle final_cycle)
+{
+    (void)final_cycle;
+    dropped_ = pendingCycles_;
+    pendingCycles_ = 0.0;
+}
+
+} // namespace tea

@@ -1,0 +1,68 @@
+#include "profilers/overhead.hh"
+
+namespace tea {
+
+StorageBreakdown
+teaStorage(const CoreConfig &cfg)
+{
+    StorageBreakdown b;
+    auto add = [&](std::string name, std::uint64_t bits) {
+        b.items.push_back(StorageItem{std::move(name), bits});
+        b.totalBits += bits;
+    };
+
+    // Front-end DR-L1/DR-TLB tracking: 2 bits per fetch-buffer entry,
+    // three 2-bit fetch-packet registers, and 2 bits per decode and
+    // dispatch slot to carry the bits through the front end.
+    add("fetch buffer PSV bits (2b x entries)",
+        2ULL * cfg.fetchBufferEntries);
+    add("fetch packet registers (3 x 2b)", 6);
+    add("decode stage carry (2b x width)", 2ULL * cfg.decodeWidth);
+    add("dispatch stage carry (2b x width)", 2ULL * cfg.dispatchWidth);
+    // DR-SQ detection at dispatch.
+    add("dispatch DR-SQ register", 1);
+    // 9-bit PSV per ROB entry.
+    add("ROB PSV field (9b x entries)", 9ULL * cfg.robEntries);
+    // ST-TLB bit per LSU entry (detected before the cache responds).
+    add("LSU ST-TLB bits (1b x LSQ entries)",
+        1ULL * (cfg.lqEntries + cfg.sqEntries));
+    // Last-committed PSV register (Flushed-state attribution).
+    add("last-committed PSV register", 16);
+    // Sample staging: PSVs packed into the 64-bit sample CSR.
+    add("sample staging CSR", 64);
+    return b;
+}
+
+double
+tipStorageBytes()
+{
+    return 57.0;
+}
+
+unsigned
+sampleBytes()
+{
+    return 88;
+}
+
+double
+samplingPerfOverhead(Cycle period, double handler_cycles)
+{
+    return handler_cycles / static_cast<double>(period);
+}
+
+double
+robFetchBufferStorageFraction(const CoreConfig &cfg)
+{
+    StorageBreakdown b = teaStorage(cfg);
+    double rob_fb = 0.0;
+    for (const StorageItem &i : b.items) {
+        if (i.name.find("ROB") != std::string::npos ||
+            i.name.find("fetch buffer") != std::string::npos) {
+            rob_fb += static_cast<double>(i.bits);
+        }
+    }
+    return rob_fb / static_cast<double>(b.totalBits);
+}
+
+} // namespace tea

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * TEA overhead model (Section 3, "Overheads"): storage-bit accounting
+ * derived from the core configuration, the sampling performance-overhead
+ * model, and the published power figures (power cannot be re-synthesized
+ * offline; see DESIGN.md).
+ */
+
+#ifndef TEA_PROFILERS_OVERHEAD_HH
+#define TEA_PROFILERS_OVERHEAD_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+
+namespace tea {
+
+/** One storage component of the TEA implementation. */
+struct StorageItem
+{
+    std::string name;
+    std::uint64_t bits;
+};
+
+/** Complete storage accounting. */
+struct StorageBreakdown
+{
+    std::vector<StorageItem> items;
+    std::uint64_t totalBits = 0;
+
+    double totalBytes() const { return totalBits / 8.0; }
+};
+
+/** TEA's storage overhead for @p cfg (paper: 249 B for Table 2). */
+StorageBreakdown teaStorage(const CoreConfig &cfg);
+
+/** TIP's baseline storage overhead in bytes (paper: 57 B). */
+double tipStorageBytes();
+
+/** Sample record size in bytes as communicated to software (paper: 88 B). */
+unsigned sampleBytes();
+
+/**
+ * Performance overhead of sampling at @p period cycles/sample: the
+ * interrupt handler plus buffer write costs @p handler_cycles per
+ * sample (calibrated so the paper's 4 kHz on 3.2 GHz -> 1.1%).
+ */
+double samplingPerfOverhead(Cycle period, double handler_cycles = 8800.0);
+
+/** Published power figures, reproduced analytically. */
+struct PowerModel
+{
+    double robFetchBufferIncrease = 0.046; ///< +4.6% on ROB+fetch buffer
+    double absoluteMilliwatts = 3.2;       ///< ~3.2 mW per core
+    double corePowerWatts = 4.7;           ///< i7-1260P per-core (RAPL)
+
+    /** Fraction of per-core power (paper: ~0.1%). */
+    double coreFraction() const
+    {
+        return absoluteMilliwatts / 1000.0 / corePowerWatts;
+    }
+};
+
+/**
+ * Fraction of TEA's storage held in the ROB and fetch buffer (the paper
+ * synthesizes only these units because they hold 91.7% of the storage).
+ */
+double robFetchBufferStorageFraction(const CoreConfig &cfg);
+
+} // namespace tea
+
+#endif // TEA_PROFILERS_OVERHEAD_HH

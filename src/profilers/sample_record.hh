@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The software side of TEA (Section 3, "Sample collection and PICS
+ * generation"): the 88-byte sample record the interrupt handler reads
+ * from TEA's CSRs and appends to a memory buffer, the buffer itself
+ * (with binary file serialization, standing in for perf's ring buffer +
+ * file), and the post-processing that rebuilds PICS from a sample file.
+ */
+
+#ifndef TEA_PROFILERS_SAMPLE_RECORD_HH
+#define TEA_PROFILERS_SAMPLE_RECORD_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "events/event.hh"
+#include "profilers/pics.hh"
+
+namespace tea {
+
+/**
+ * One sample as written by the sampling interrupt handler: timestamp,
+ * commit state and valid count, up to four instruction addresses with
+ * their PSVs, and the logical core / process / thread identifiers the
+ * handler reads from other CSRs. 88 bytes, matching the paper.
+ */
+struct SampleRecord
+{
+    std::uint64_t timestamp = 0;            ///< sample cycle
+    std::array<std::uint64_t, 4> addrs{};   ///< instruction addresses
+    std::array<std::uint16_t, 4> psvs{};    ///< PSVs (9 bits used each)
+    std::uint32_t pid = 0;                  ///< process identifier
+    std::uint32_t tid = 0;                  ///< thread identifier
+    std::uint16_t coreId = 0;               ///< logical core identifier
+    std::uint16_t flags = 0;                ///< state (low 2b) | count<<2
+    std::array<std::uint8_t, 28> reserved{}; ///< pad to the 88 B format
+
+    /** Commit state at the sample. */
+    CommitState state() const
+    {
+        return static_cast<CommitState>(flags & 0x3);
+    }
+
+    /** Number of valid (addr, psv) pairs (1..4). */
+    unsigned count() const { return (flags >> 2) & 0x7; }
+
+    /** Compose the flags field. */
+    static std::uint16_t
+    makeFlags(CommitState state, unsigned count)
+    {
+        return static_cast<std::uint16_t>(
+            (static_cast<unsigned>(state) & 0x3) | ((count & 0x7) << 2));
+    }
+};
+
+static_assert(sizeof(SampleRecord) == 88,
+              "sample record must match the paper's 88-byte format");
+
+/** Destination for completed sample records. */
+class SampleWriter
+{
+  public:
+    virtual ~SampleWriter() = default;
+
+    /** Deliver one completed sample. */
+    virtual void onSample(const SampleRecord &rec) = 0;
+};
+
+/**
+ * In-memory sample buffer with binary file serialization; the software
+ * half of the paper's perf-style collection flow.
+ */
+class SampleBuffer : public SampleWriter
+{
+  public:
+    void onSample(const SampleRecord &rec) override;
+
+    const std::vector<SampleRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+
+    /** Total buffer footprint in bytes (88 B per sample). */
+    std::size_t bytes() const
+    {
+        return records_.size() * sizeof(SampleRecord);
+    }
+
+    /** Write all records to @p path (fatal on I/O error). */
+    void writeFile(const std::string &path) const;
+
+    /** Load a sample file written by writeFile (fatal on I/O error). */
+    static std::vector<SampleRecord> readFile(const std::string &path);
+
+  private:
+    std::vector<SampleRecord> records_;
+};
+
+/**
+ * Post-process samples into PICS (the paper's offline tool): each sample
+ * contributes @p period cycles, split evenly across its valid pairs for
+ * Compute samples. @p event_mask restricts signatures to a technique's
+ * event set; @p core_filter of -1 keeps all cores.
+ */
+Pics picsFromRecords(const std::vector<SampleRecord> &records,
+                     Cycle period, std::uint16_t event_mask = 0x1ff,
+                     int core_filter = -1);
+
+} // namespace tea
+
+#endif // TEA_PROFILERS_SAMPLE_RECORD_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Small targeted workloads used by the test suite to exercise individual
+ * core mechanisms (one per commit state / performance event).
+ */
+
+#include "workloads/workload.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace tea {
+namespace workloads {
+
+namespace {
+
+/** Base address of the data heap used by all workloads. */
+constexpr Addr heapBase = 0x2000'0000;
+
+/** Build a circular linked list and return the head address. */
+Addr
+buildChaseList(ArchState &st, Addr base, unsigned nodes,
+               std::uint64_t spacing, std::uint64_t seed)
+{
+    tea_assert(spacing % 8 == 0 && spacing >= 8, "bad node spacing");
+    std::vector<std::uint32_t> perm(nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    for (unsigned i = 0; i < nodes; ++i) {
+        Addr from = base + perm[i] * spacing;
+        Addr to = base + perm[(i + 1) % nodes] * spacing;
+        st.mem.write(from, to);
+    }
+    return base + perm[0] * spacing;
+}
+
+} // namespace
+
+Workload
+aluLoop(unsigned iterations)
+{
+    ProgramBuilder b("alu_loop");
+    b.beginFunction("main");
+    b.li(x(5), 0);
+    b.li(x(6), iterations);
+    Label top = b.here();
+    b.addi(x(5), x(5), 1);
+    b.xor_(x(7), x(5), x(6));
+    b.add(x(8), x(7), x(5));
+    b.sub(x(9), x(8), x(7));
+    b.blt(x(5), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "tight ALU loop (compute-bound)"};
+}
+
+Workload
+pointerChase(unsigned nodes, unsigned laps, std::uint64_t spacing_bytes)
+{
+    ArchState st;
+    Addr head = buildChaseList(st, heapBase, nodes, spacing_bytes, 17);
+
+    ProgramBuilder b("pointer_chase");
+    b.beginFunction("chase");
+    b.li(x(5), static_cast<std::int64_t>(head));
+    b.li(x(6), static_cast<std::int64_t>(nodes) * laps);
+    b.li(x(7), 0);
+    Label top = b.here();
+    b.ld(x(5), x(5), 0); // dependent chase load
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "dependent pointer chase (latency-bound)"};
+}
+
+Workload
+streamSum(unsigned lines, unsigned laps)
+{
+    ProgramBuilder b("stream_sum");
+    b.beginFunction("sum");
+    b.li(x(9), laps);
+    b.li(x(10), 0);
+    Label outer = b.here();
+    b.li(x(5), static_cast<std::int64_t>(heapBase));
+    b.li(x(6), static_cast<std::int64_t>(heapBase) +
+                   static_cast<std::int64_t>(lines) * 64);
+    Label top = b.here();
+    b.ld(x(7), x(5), 0);
+    b.add(x(8), x(8), x(7));
+    b.addi(x(5), x(5), 64);
+    b.blt(x(5), x(6), top);
+    b.addi(x(10), x(10), 1);
+    b.blt(x(10), x(9), outer);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "unit-line-stride streaming read"};
+}
+
+Workload
+branchNoise(unsigned iterations, std::uint64_t seed)
+{
+    // The unpredictable bit comes from a register-resident LCG: its
+    // 2^64 period is beyond any predictor's reach (a repeating table
+    // would be memorized by a TAGE-class predictor).
+    ProgramBuilder b("branch_noise");
+    b.beginFunction("noise");
+    b.li(x(6), iterations);
+    b.li(x(7), 0);  // i
+    b.li(x(8), 0);  // acc
+    b.li(x(9), static_cast<std::int64_t>(seed * 2 + 1));
+    b.li(x(24), 6364136223846793005LL);
+    Label top = b.here();
+    b.mul(x(9), x(9), x(24));
+    b.addi(x(9), x(9), 1442695040888963407LL);
+    b.shri(x(10), x(9), 41);
+    b.andi(x(10), x(10), 1);
+    Label skip = b.label();
+    b.beq(x(10), x(0), skip); // data-dependent, unpredictable
+    b.addi(x(8), x(8), 3);
+    b.bind(skip);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "unpredictable data-dependent branches"};
+}
+
+Workload
+storeBurst(unsigned lines, unsigned laps)
+{
+    ProgramBuilder b("store_burst");
+    b.beginFunction("burst");
+    b.li(x(9), laps);
+    b.li(x(10), 0);
+    b.li(x(7), 7);
+    Label outer = b.here();
+    b.li(x(5), static_cast<std::int64_t>(heapBase));
+    b.li(x(6), static_cast<std::int64_t>(heapBase) +
+                   static_cast<std::int64_t>(lines) * 64);
+    Label top = b.here();
+    b.st(x(5), 0, x(7));
+    b.addi(x(5), x(5), 64);
+    b.blt(x(5), x(6), top);
+    b.addi(x(10), x(10), 1);
+    b.blt(x(10), x(9), outer);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "line-stride store burst (store-queue bound)"};
+}
+
+Workload
+flushySqrt(unsigned iterations, bool with_flushes)
+{
+    ProgramBuilder b(with_flushes ? "flushy_sqrt" : "plain_sqrt");
+    b.beginFunction("kernel");
+    b.fli(f(1), 2.25);
+    b.fli(f(3), 0.0);
+    b.li(x(5), 0);
+    b.li(x(6), iterations);
+    Label top = b.here();
+    if (with_flushes) {
+        b.fsflags();
+        b.frflags();
+    }
+    b.fsqrt(f(2), f(1));
+    b.fadd(f(3), f(3), f(2));
+    b.addi(x(5), x(5), 1);
+    b.blt(x(5), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    with_flushes ? "fsqrt serialized by CSR flushes"
+                                 : "back-to-back fsqrt"};
+}
+
+Workload
+icacheWalk(unsigned functions, unsigned laps)
+{
+    ProgramBuilder b("icache_walk");
+    std::vector<Label> fns(functions);
+    for (auto &l : fns)
+        l = b.label();
+
+    b.beginFunction("main");
+    b.li(x(20), laps);
+    b.li(x(21), 0);
+    Label outer = b.here();
+    for (unsigned i = 0; i < functions; ++i)
+        b.call(fns[i]);
+    b.addi(x(21), x(21), 1);
+    b.blt(x(21), x(20), outer);
+    b.halt();
+    b.endFunction();
+
+    // Each function is ~18 instructions: the total code footprint
+    // exceeds the 32 KB L1 I-cache for functions >= ~450.
+    for (unsigned i = 0; i < functions; ++i) {
+        b.beginFunction("fn" + std::to_string(i));
+        b.bind(fns[i]);
+        for (unsigned k = 0; k < 16; ++k)
+            b.addi(x(5 + (k % 8)), x(5 + (k % 8)), 1);
+        b.ret();
+        b.endFunction();
+    }
+    return Workload{b.build(), ArchState{},
+                    "code footprint larger than the L1 I-cache"};
+}
+
+Workload
+orderingViolator(unsigned iterations)
+{
+    constexpr unsigned bufWords = 64;
+    ProgramBuilder b("ordering_violator");
+    b.beginFunction("kernel");
+    b.li(x(5), static_cast<std::int64_t>(heapBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(10), 1000);
+    b.li(x(11), 7);
+    Label top = b.here();
+    // Unrolled bodies give distinct static load pcs, so the store-set
+    // predictor has to learn each one separately.
+    for (unsigned u = 0; u < 8; ++u) {
+        b.div(x(9), x(10), x(11));  // slow producer of the store data
+        b.st(x(5), 8 * u, x(9));    // store waits on the divide
+        b.ld(x(8), x(5), 8 * u);    // load issues early: violation
+        b.add(x(12), x(12), x(8));
+    }
+    b.addi(x(7), x(7), 1);
+    b.andi(x(13), x(7), bufWords / 2 - 1);
+    b.shli(x(13), x(13), 3);
+    b.li(x(5), static_cast<std::int64_t>(heapBase));
+    b.add(x(5), x(5), x(13));
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "store-to-load aliasing (memory-ordering violations)"};
+}
+
+} // namespace workloads
+} // namespace tea

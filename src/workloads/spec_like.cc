@@ -1,0 +1,1042 @@
+/**
+ * @file
+ * The SPEC CPU2017-like synthetic suite.
+ *
+ * Each kernel reproduces the microarchitectural behaviour the paper
+ * attributes to the corresponding SPEC benchmark (see DESIGN.md):
+ * the suite substitutes for SPEC's reference runs, which are not
+ * available offline.
+ */
+
+#include "workloads/workload.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace tea {
+namespace workloads {
+
+namespace {
+
+constexpr Addr srcBase = 0x2000'0000;  ///< primary read region
+constexpr Addr src2Base = 0x2800'0000; ///< secondary read region
+constexpr Addr dstBase = 0x3000'0000;  ///< primary write region
+constexpr Addr auxBase = 0x3800'0000;  ///< small auxiliary tables
+
+/** Build a circular linked list; returns the head node address. */
+Addr
+buildList(ArchState &st, Addr base, unsigned nodes, std::uint64_t spacing,
+          std::uint64_t seed)
+{
+    std::vector<std::uint32_t> perm(nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (unsigned i = nodes - 1; i > 0; --i) {
+        unsigned j = static_cast<unsigned>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    for (unsigned i = 0; i < nodes; ++i) {
+        Addr from = base + perm[i] * spacing;
+        Addr to = base + perm[(i + 1) % nodes] * spacing;
+        st.mem.write(from, to);
+        st.mem.write(from + 8, rng.below(2)); // branchy payload
+    }
+    return base + perm[0] * spacing;
+}
+
+} // namespace
+
+Workload
+lbm(const LbmParams &p)
+{
+    // Streaming stencil update: per iteration one source cache line is
+    // read (the first fld is the paper's performance-critical load), a
+    // long FP body fills the ROB -- preventing the next iteration's
+    // loads from issuing early, exactly the behaviour the paper
+    // describes -- and one destination line is written back.
+    ProgramBuilder b("lbm");
+    b.beginFunction("stream_collide");
+    b.li(x(20), p.sweeps);
+    b.li(x(21), 0);
+    Label outer = b.here();
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(7), static_cast<std::int64_t>(dstBase));
+    b.li(x(8), static_cast<std::int64_t>(srcBase) +
+                   static_cast<std::int64_t>(p.cells) * 64);
+    b.fli(f(20), 1.0009765625);
+    b.fli(f(21), 0.25);
+    Label top = b.here();
+    if (p.prefetchDistance > 0) {
+        // Prefetch the source line the body will read @distance
+        // iterations ahead (stores are post-commit and write-allocate;
+        // prefetching them would only add read traffic).
+        std::int64_t d = static_cast<std::int64_t>(p.prefetchDistance) * 64;
+        b.prefetch(x(5), d);
+    }
+    // The critical load: always misses the LLC without prefetching.
+    b.fld(f(1), x(5), 0);
+    b.fld(f(2), x(5), 16);
+    b.fld(f(3), x(5), 32);
+    b.fld(f(4), x(5), 48);
+    // FP body (collision operator) seeded by the loaded values. Sized so
+    // the 48-entry FP issue queue holds fewer than two iterations of FP
+    // work: dispatch blocks on the queue while the critical load's miss
+    // is outstanding, which prevents the loads of later iterations from
+    // issuing early -- exactly the behaviour the paper describes for lbm.
+    b.fmul(f(5), f(1), f(20));
+    b.fadd(f(6), f(2), f(21));
+    b.fmul(f(7), f(3), f(20));
+    b.fadd(f(8), f(4), f(21));
+    for (unsigned k = 0; k < 3; ++k) {
+        b.fmul(f(5), f(5), f(20));
+        b.fadd(f(6), f(6), f(5));
+        b.fmul(f(7), f(7), f(21));
+        b.fadd(f(8), f(8), f(7));
+    }
+    b.fadd(f(9), f(5), f(6));
+    b.fadd(f(10), f(7), f(8));
+    b.fmul(f(11), f(9), f(10));
+    b.fadd(f(12), f(11), f(9));
+    // Write two destination lines per source line (lbm writes more lines
+    // than it reads): write-allocate RFOs plus eventual writebacks make
+    // the optimized kernel store-bandwidth bound.
+    b.fst(x(7), 0, f(9));
+    b.fst(x(7), 16, f(10));
+    b.fst(x(7), 32, f(11));
+    b.fst(x(7), 48, f(12));
+    b.fst(x(7), (1 << 21) + 0, f(10));
+    b.fst(x(7), (1 << 21) + 16, f(11));
+    b.fst(x(7), (1 << 21) + 32, f(12));
+    b.fst(x(7), (1 << 21) + 48, f(9));
+    b.addi(x(5), x(5), 64);
+    b.addi(x(7), x(7), 64);
+    b.blt(x(5), x(8), top);
+    b.addi(x(21), x(21), 1);
+    b.blt(x(21), x(20), outer);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "lbm-like: streaming LLC misses + store bandwidth"};
+}
+
+Workload
+nab(const NabParams &p)
+{
+    // Molecular-dynamics-style distance kernel: a comparison guarded by
+    // IEEE-754 flag bookkeeping (fsflags/frflags always flush the
+    // pipeline on this architecture) followed by a square root whose
+    // latency cannot be hidden because the flush restarts the front end.
+    const char *variant_name =
+        p.variant == NabVariant::Ieee     ? "nab"
+        : p.variant == NabVariant::Finite ? "nab-finite-math"
+                                          : "nab-fast-math";
+    ProgramBuilder b(variant_name);
+    b.beginFunction("dist_kernel");
+    constexpr unsigned tableWords = 512; // 4 KiB: L1-resident
+    b.li(x(5), static_cast<std::int64_t>(auxBase));
+    b.li(x(6), p.iterations);
+    b.li(x(7), 0);
+    b.fli(f(10), 1.5);
+    b.fli(f(11), 0.0);
+    Label top = b.here();
+    b.andi(x(9), x(7), tableWords - 1);
+    b.shli(x(9), x(9), 3);
+    b.add(x(9), x(9), x(5));
+    b.fld(f(1), x(9), 0);
+    b.fmul(f(2), f(1), f(1));
+    b.fadd(f(2), f(2), f(10));
+    if (p.variant != NabVariant::Fast) {
+        // Without -ffast-math the compiler must preserve evaluation
+        // order: the distance term folds the running energy into the
+        // sqrt input, serializing iterations through the accumulator.
+        b.fadd(f(2), f(2), f(5));
+    }
+    if (p.variant == NabVariant::Ieee) {
+        // flt.d must not trap on NaN: the compiler brackets the compare
+        // with flag save/restore, each of which flushes the pipeline.
+        b.fsflags();
+        b.fcmplt(x(10), f(2), f(11));
+        b.frflags();
+    } else if (p.variant == NabVariant::Finite) {
+        // -ffinite-math-only: flag bookkeeping removed, compare kept.
+        b.fcmplt(x(10), f(2), f(11));
+    }
+    // -ffast-math additionally reassociates the accumulation out of the
+    // sqrt input and drops the guard comparison entirely.
+    b.fsqrt(f(3), f(2)); // issues too late to hide its latency
+    b.fmul(f(4), f(3), f(10));
+    b.fadd(f(5), f(5), f(3));
+    b.fst(x(9), 0, f(4));
+    // A second, less frequent comparison site (every 8th iteration; the
+    // period-8 pattern is perfectly predictable so it adds FL-EX count
+    // diversity without FL-MB noise).
+    Label no_second_cmp = b.label();
+    b.andi(x(11), x(7), 7);
+    b.bne(x(11), x(0), no_second_cmp);
+    if (p.variant == NabVariant::Ieee) {
+        b.fsflags();
+        b.fcmplt(x(12), f(4), f(11));
+        b.frflags();
+    } else if (p.variant == NabVariant::Finite) {
+        b.fcmplt(x(12), f(4), f(11));
+    }
+    b.bind(no_second_cmp);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+
+    ArchState st;
+    for (unsigned i = 0; i < tableWords; ++i)
+        st.mem.writeDouble(auxBase + 8 * i, 1.0 + 0.001 * i);
+    return Workload{b.build(), std::move(st),
+                    "nab-like: fsqrt serialized by IEEE-754 CSR flushes"};
+}
+
+Workload
+bwaves()
+{
+    // Page-stride sweep over a 32 MiB grid: nearly every access misses
+    // the L1 D-TLB (and often the L2 TLB) in combination with LLC
+    // misses -- the paper's example of combined (ST-LLC, ST-TLB) and
+    // (ST-L1, ST-TLB) events.
+    constexpr std::int64_t footprint = 32LL * 1024 * 1024;
+    constexpr std::int64_t stride = 4096 + 64; // new page every access
+    constexpr unsigned iterations = 22000;
+    ProgramBuilder b("bwaves");
+    b.beginFunction("mat_times_vec");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(11), static_cast<std::int64_t>(srcBase) + footprint);
+    b.li(x(12), static_cast<std::int64_t>(dstBase));
+    b.fli(f(10), 0.5);
+    Label top = b.here();
+    b.fld(f(1), x(5), 0);   // combined LLC + TLB miss
+    b.fld(f(2), x(5), 8);   // same line: hidden L1 miss
+    b.fld(f(3), x(5), 64);  // next line, same page: solitary LLC miss
+    b.fmul(f(4), f(1), f(10));
+    b.fadd(f(4), f(4), f(2));
+    b.fmul(f(5), f(3), f(10));
+    b.fadd(f(6), f(4), f(5));
+    b.fadd(f(7), f(7), f(6));
+    b.fst(x(12), 0, f(6));
+    b.addi(x(12), x(12), 64);
+    b.andi(x(13), x(12), (1 << 20) - 1); // dst wraps within 1 MiB
+    b.li(x(14), static_cast<std::int64_t>(dstBase));
+    b.add(x(12), x(14), x(13));
+    b.addi(x(5), x(5), stride);
+    Label no_wrap = b.label();
+    b.blt(x(5), x(11), no_wrap);
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.bind(no_wrap);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.endFunction();
+
+    b.beginFunction("jacobian_sweep");
+    // Second phase: page-stride over a 2 MiB slab that stays L2-TLB
+    // resident -- frequent but cheap L1 D-TLB misses (count/impact
+    // diversity for the Fig 7 analysis).
+    b.li(x(5), static_cast<std::int64_t>(src2Base));
+    b.li(x(6), 30000);
+    b.li(x(7), 0);
+    b.li(x(11), static_cast<std::int64_t>(src2Base) + (2 << 20));
+    Label top2 = b.here();
+    b.fld(f(1), x(5), 0); // L1-TLB miss, L2-TLB hit, LLC-resident
+    b.fadd(f(8), f(8), f(1));
+    b.addi(x(5), x(5), stride);
+    Label no_wrap2 = b.label();
+    b.blt(x(5), x(11), no_wrap2);
+    b.li(x(5), static_cast<std::int64_t>(src2Base));
+    b.bind(no_wrap2);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top2);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "bwaves-like: combined cache + TLB misses"};
+}
+
+Workload
+omnetpp()
+{
+    // Discrete-event-simulator heap behaviour: a dependent pointer
+    // chase across a 17 MiB heap (combined LLC + TLB misses that cannot
+    // be hidden) with a data-dependent branch per event.
+    constexpr unsigned nodes = 4096;
+    constexpr std::uint64_t spacing = 4096 + 64;
+    constexpr unsigned laps = 3;
+    ArchState st;
+    Addr head = buildList(st, srcBase, nodes, spacing, 23);
+    // A short event queue that stays LLC-resident: its chase loads miss
+    // the L1 often but are cheap (count/impact diversity for Fig 7).
+    constexpr unsigned hotNodes = 1024; // 64 KB of lines: LLC-resident
+    Addr hot_head = buildList(st, dstBase, hotNodes, spacing, 29);
+
+    ProgramBuilder b("omnetpp");
+    b.beginFunction("do_one_event");
+    b.li(x(5), static_cast<std::int64_t>(head));
+    b.li(x(6), nodes * laps);
+    b.li(x(7), 0);
+    b.li(x(12), 0);
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 12345);
+    Label top = b.here();
+    b.ld(x(8), x(5), 8);  // payload (same line as the chase pointer)
+    b.ld(x(5), x(5), 0);  // the chase load: exposed combined misses
+    // Event-type test: payload mixed with fresh (LCG) entropy, so no
+    // predictor can memorize the repeating list order.
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.shri(x(26), x(25), 41);
+    b.xor_(x(26), x(26), x(8));
+    b.andi(x(26), x(26), 1);
+    Label skip = b.label();
+    b.beq(x(26), x(0), skip); // unpredictable event-type branch
+    b.addi(x(12), x(12), 5);
+    b.bind(skip);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.endFunction();
+
+    b.beginFunction("schedule_events");
+    b.li(x(5), static_cast<std::int64_t>(hot_head));
+    b.li(x(6), hotNodes * 30);
+    b.li(x(7), 0);
+    Label top2 = b.here();
+    b.ld(x(5), x(5), 0); // hot chase: frequent cheap L1 misses
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top2);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "omnetpp-like: pointer chasing with combined events"};
+}
+
+Workload
+fotonik3d()
+{
+    // Unit-line-stride field updates: solitary LLC misses (pages are
+    // reused 64 lines in a row, so the TLB rarely misses) -- the
+    // paper's example of a solitary-event benchmark. Three field loops
+    // with different trip counts and different degrees of latency
+    // hiding give the Fig 7 analysis count/impact diversity.
+    constexpr unsigned linesA = 56 * 1024; // 3.5 MiB, exposed sweep
+    constexpr unsigned linesB = 16 * 1024; // 2 x 1 MiB, 4-way unrolled
+    constexpr unsigned linesC = 8 * 1024;  // 512 KiB, LLC-resident laps
+    ProgramBuilder b("fotonik3d");
+
+    b.beginFunction("update_e_field");
+    b.fli(f(10), 0.125);
+    // Phase A: single-stream sweep; the first load's misses are
+    // latency-exposed at the head of the ROB.
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), static_cast<std::int64_t>(srcBase) +
+                   static_cast<std::int64_t>(linesA) * 64);
+    b.li(x(7), static_cast<std::int64_t>(dstBase));
+    Label topA = b.here();
+    b.fld(f(1), x(5), 0); // solitary LLC miss, exposed
+    b.fld(f(2), x(5), 24);
+    b.fmul(f(3), f(1), f(10));
+    b.fadd(f(4), f(3), f(2));
+    b.fmul(f(5), f(4), f(10));
+    b.fadd(f(6), f(6), f(5));
+    b.fst(x(7), 0, f(5));
+    b.addi(x(5), x(5), 64);
+    b.addi(x(7), x(7), 64);
+    b.blt(x(5), x(6), topA);
+    b.endFunction();
+
+    b.beginFunction("update_h_field");
+    // Phase B: dual-stream, 2-line unrolled sweep; misses overlap each
+    // other, so the per-miss performance impact is lower.
+    b.li(x(5), static_cast<std::int64_t>(src2Base));
+    b.li(x(6), static_cast<std::int64_t>(src2Base) +
+                   static_cast<std::int64_t>(linesB) * 64);
+    b.li(x(8), 4 * 1024 * 1024);
+    Label topB = b.here();
+    b.fld(f(1), x(5), 0);
+    b.fld(f(2), x(5), 1 << 22); // second stream, 4 MiB away
+    b.fld(f(3), x(5), 64);
+    b.fld(f(4), x(5), (1 << 22) + 64);
+    b.fadd(f(5), f(1), f(2));
+    b.fadd(f(6), f(3), f(4));
+    b.fadd(f(7), f(5), f(6));
+    b.fadd(f(9), f(9), f(7));
+    b.addi(x(5), x(5), 128);
+    b.blt(x(5), x(6), topB);
+    b.endFunction();
+
+    b.beginFunction("boundary_update");
+    // Phase C: repeated laps over an LLC-resident slab: many L1 misses
+    // (high ST-L1 counts) whose LLC-hit latency is mostly hidden.
+    b.li(x(10), 10);
+    b.li(x(11), 0);
+    Label lapC = b.here();
+    b.li(x(5), static_cast<std::int64_t>(auxBase));
+    b.li(x(6), static_cast<std::int64_t>(auxBase) +
+                   static_cast<std::int64_t>(linesC) * 64);
+    Label topC = b.here();
+    b.fld(f(1), x(5), 0);
+    b.fld(f(2), x(5), 64);
+    b.fadd(f(3), f(1), f(2));
+    b.fadd(f(8), f(8), f(3));
+    b.addi(x(5), x(5), 128);
+    b.blt(x(5), x(6), topC);
+    b.addi(x(11), x(11), 1);
+    b.blt(x(11), x(10), lapC);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "fotonik3d-like: solitary streaming cache misses"};
+}
+
+Workload
+exchange2()
+{
+    // Branch-and-bound puzzle solver: L1-resident data, heavy
+    // data-dependent control flow, deep call chains -- compute bound
+    // with branch mispredictions, few memory events.
+    constexpr unsigned tableWords = 512;
+    constexpr unsigned iterations = 110000;
+    ArchState st;
+    Rng rng(31);
+    for (unsigned i = 0; i < tableWords; ++i)
+        st.mem.write(auxBase + 8 * i, rng.below(9));
+
+    ProgramBuilder b("exchange2");
+    Label digit_fn = b.label();
+    Label score_fn = b.label();
+
+    b.beginFunction("solve");
+    b.li(x(5), static_cast<std::int64_t>(auxBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(12), 0);
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 777);
+    Label top = b.here();
+    // Fresh digit from an LCG (a repeating table would be memorized by
+    // the TAGE predictor); the table load stays for its L1 traffic.
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.andi(x(9), x(7), tableWords - 1);
+    b.shli(x(9), x(9), 3);
+    b.add(x(9), x(9), x(5));
+    b.ld(x(10), x(9), 0);
+    b.shri(x(10), x(25), 41);
+    b.andi(x(10), x(10), 7);
+    b.call(digit_fn);
+    Label not_four = b.label();
+    b.slti(x(11), x(10), 4);
+    b.bne(x(11), x(0), not_four); // unpredictable digit test (~50%)
+    b.call(score_fn);
+    b.bind(not_four);
+    // Rarely-failing bound check (digits are 0..7, so < 7 is ~88%
+    // taken): a branch site with a much lower misprediction rate.
+    Label in_bounds = b.label();
+    b.slti(x(11), x(10), 7);
+    b.bne(x(11), x(0), in_bounds);
+    b.addi(x(12), x(12), 11);
+    b.bind(in_bounds);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+
+    b.beginFunction("try_digit");
+    b.bind(digit_fn);
+    b.mul(x(13), x(10), x(10));
+    b.addi(x(13), x(13), 3);
+    b.andi(x(14), x(13), 7);
+    Label even = b.label();
+    b.andi(x(15), x(10), 1);
+    b.beq(x(15), x(0), even); // unpredictable parity test
+    b.add(x(12), x(12), x(14));
+    b.bind(even);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("score_block");
+    b.bind(score_fn);
+    b.mul(x(16), x(10), x(13));
+    b.shri(x(16), x(16), 2);
+    b.add(x(12), x(12), x(16));
+    b.ret();
+    b.endFunction();
+
+    return Workload{b.build(), std::move(st),
+                    "exchange2-like: compute-bound, branchy"};
+}
+
+Workload
+mcf()
+{
+    // Min-cost-flow arc scan: large-footprint loads, unpredictable
+    // pricing branches, and read-modify-writes through a slow address
+    // computation that trigger memory-ordering violations.
+    constexpr unsigned arcWords = 1 << 20; // 8 MiB arc array
+    constexpr unsigned iterations = 26000;
+    ArchState st;
+    Rng rng(47);
+    for (unsigned i = 0; i < 4096; ++i)
+        st.mem.write(auxBase + 8 * i, rng.below(64) * 8);
+
+    ProgramBuilder b("mcf");
+    b.beginFunction("price_out_impl");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(15), static_cast<std::int64_t>(auxBase));
+    b.li(x(16), 1000);
+    b.li(x(17), 7);
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 31415);
+    Label top = b.here();
+    // Arc load: strided 520 bytes through 8 MiB -> LLC misses.
+    b.andi(x(9), x(7), arcWords / 64 - 1);
+    b.li(x(13), 520);
+    b.mul(x(9), x(9), x(13));
+    b.add(x(9), x(9), x(5));
+    b.andi(x(9), x(9), ~7LL);
+    b.ld(x(10), x(9), 0);
+    // Pricing test on the arc cost mixed with fresh entropy.
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.shri(x(13), x(25), 41);
+    b.xor_(x(13), x(13), x(10));
+    b.andi(x(13), x(13), 1);
+    Label cheap = b.label();
+    b.bne(x(13), x(0), cheap); // unpredictable pricing branch
+    b.addi(x(18), x(18), 1);
+    b.bind(cheap);
+    // Read-modify-write into a small node table through a slow divide:
+    // the store's data arrives late while the reload issues early
+    // (memory-ordering violations). Two sites run every iteration and
+    // two only every 4th (period-4, predictable), giving FL-MO count
+    // diversity across static loads.
+    Label skip_rare = b.label();
+    for (unsigned u = 0; u < 4; ++u) {
+        if (u == 2) {
+            b.andi(x(14), x(7), 3);
+            b.bne(x(14), x(0), skip_rare);
+        }
+        b.div(x(11), x(16), x(17));
+        b.st(x(15), 8 * u, x(11));
+        b.ld(x(12), x(15), 8 * u);
+        b.add(x(18), x(18), x(12));
+    }
+    b.bind(skip_rare);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.endFunction();
+
+    b.beginFunction("refresh_potential");
+    // A short second phase: its RMW sites live through fewer store-set
+    // aging epochs, so their violation counts differ from the main
+    // loop's (count diversity for the Fig 7 FL-MO analysis).
+    b.li(x(7), 0);
+    b.li(x(6), 4000);
+    Label top2 = b.here();
+    for (unsigned u = 4; u < 6; ++u) {
+        b.div(x(11), x(16), x(17));
+        b.st(x(15), 8 * u, x(11));
+        b.ld(x(12), x(15), 8 * u);
+        b.add(x(18), x(18), x(12));
+    }
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top2);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "mcf-like: pointer-heavy with ordering violations"};
+}
+
+Workload
+xalancbmk()
+{
+    // XML-transformation-style code: a call graph whose footprint
+    // exceeds the L1 I-cache and I-TLB reach -> DR-L1 and DR-TLB events
+    // dominate. Functions are long (template handlers) so drain cycles
+    // concentrate on a bounded set of fetch-packet head instructions.
+    constexpr unsigned functions = 64;
+    constexpr unsigned bodyInsts = 160; // ~41 KB total code > 32 KB L1I
+    constexpr unsigned laps = 220;
+    ProgramBuilder b("xalancbmk");
+    std::vector<Label> fns(functions);
+    for (auto &l : fns)
+        l = b.label();
+
+    b.beginFunction("transform");
+    b.li(x(20), laps);
+    b.li(x(21), 0);
+    b.li(x(22), static_cast<std::int64_t>(auxBase));
+    Label outer = b.here();
+    for (unsigned i = 0; i < functions; ++i)
+        b.call(fns[i]);
+    b.addi(x(21), x(21), 1);
+    b.blt(x(21), x(20), outer);
+    b.halt();
+    b.endFunction();
+
+    Rng rng(91);
+    for (unsigned i = 0; i < functions; ++i) {
+        b.beginFunction("handler" + std::to_string(i));
+        b.bind(fns[i]);
+        for (unsigned k = 0; k + 1 < bodyInsts; ++k) {
+            if (k % 16 == 5) {
+                b.ld(x(9), x(22), 8 * ((i + k) % 64)); // L1-resident data
+                b.add(x(10), x(10), x(9));
+            } else {
+                b.addi(x(5 + (k % 8)), x(5 + (k % 8)), 1);
+            }
+        }
+        b.ret();
+        b.endFunction();
+    }
+    return Workload{b.build(), ArchState{},
+                    "xalancbmk-like: instruction-cache bound"};
+}
+
+Workload
+cactuBSSN()
+{
+    // Stencil update writing many more grid lines than it reads: the
+    // post-commit store stream saturates the store queue. Five store
+    // groups with different write rates give DR-SQ count diversity.
+    constexpr unsigned cells = 12 * 1024; // lines per array
+    constexpr unsigned sweeps = 2;
+    ProgramBuilder b("cactuBSSN");
+    b.beginFunction("rhs_eval");
+    b.li(x(20), sweeps);
+    b.li(x(21), 0);
+    b.fli(f(20), 1.015625);
+    Label outer = b.here();
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(7), static_cast<std::int64_t>(dstBase));
+    b.li(x(8), static_cast<std::int64_t>(srcBase) +
+                   static_cast<std::int64_t>(cells) * 64);
+    b.li(x(22), 0);
+    Label top = b.here();
+    b.fld(f(1), x(5), 0);
+    b.fld(f(2), x(5), 32);
+    b.fmul(f(3), f(1), f(20));
+    b.fadd(f(4), f(3), f(2));
+    b.fmul(f(5), f(4), f(20));
+    b.fadd(f(6), f(5), f(4));
+    b.fmul(f(7), f(6), f(20));
+    b.fadd(f(8), f(7), f(6));
+    // Store group A/B/C: written every iteration (2 MiB apart).
+    b.fst(x(7), 0, f(4));
+    b.fst(x(7), 32, f(5));
+    b.fst(x(7), (1 << 21), f(6));
+    b.fst(x(7), (1 << 21) + 32, f(7));
+    b.fst(x(7), (2 << 21), f(8));
+    b.fst(x(7), (2 << 21) + 32, f(4));
+    // Store group D: every 2nd iteration; group E: every 4th.
+    Label skip_d = b.label();
+    b.andi(x(9), x(22), 1);
+    b.bne(x(9), x(0), skip_d);
+    b.fst(x(7), (3 << 21), f(5));
+    b.fst(x(7), (3 << 21) + 32, f(6));
+    b.bind(skip_d);
+    Label skip_e = b.label();
+    b.andi(x(9), x(22), 3);
+    b.bne(x(9), x(0), skip_e);
+    b.fst(x(7), (4 << 21), f(7));
+    b.bind(skip_e);
+    b.addi(x(22), x(22), 1);
+    b.addi(x(5), x(5), 64);
+    b.addi(x(7), x(7), 64);
+    b.blt(x(5), x(8), top);
+    b.addi(x(21), x(21), 1);
+    b.blt(x(21), x(20), outer);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "cactuBSSN-like: store-bandwidth-bound stencil"};
+}
+
+Workload
+xz()
+{
+    // LZ-style compression: hash-scattered match loads over a large
+    // window, an L1-thrashing dictionary, unpredictable match-length
+    // branches, and divide-delayed read-modify-writes to a small hash
+    // table (ordering violations at several sites).
+    constexpr unsigned iterations = 16000;
+    constexpr std::uint64_t window = 8ULL << 20; // 8 MiB match window
+    ArchState st;
+    Rng rng(59);
+    for (unsigned i = 0; i < 2048; ++i)
+        st.mem.write(auxBase + 8 * i, rng.below(2));
+
+    ProgramBuilder b("xz");
+    b.beginFunction("lzma_match");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(15), static_cast<std::int64_t>(auxBase));
+    b.li(x(16), 999983);
+    b.li(x(17), 11);
+    b.li(x(19), 0x9e3779b9);
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 2718);
+    Label top = b.here();
+    // Hash-scattered match-candidate load: LLC + TLB misses.
+    b.mul(x(9), x(7), x(19));
+    b.andi(x(9), x(9), static_cast<std::int64_t>(window - 1));
+    b.andi(x(9), x(9), ~7LL);
+    b.add(x(9), x(9), x(5));
+    b.ld(x(10), x(9), 0);
+    // Dictionary probe: 64 KiB, L1-thrashing but LLC-resident.
+    b.andi(x(11), x(9), (1 << 16) - 1);
+    b.andi(x(11), x(11), ~7LL);
+    b.add(x(11), x(11), x(15));
+    b.ld(x(12), x(11), 1 << 20);
+    // Unpredictable match-found branch (fresh LCG bit mixed with the
+    // probe result; a table bit would be memorized by TAGE).
+    b.andi(x(13), x(7), 2047);
+    b.shli(x(13), x(13), 3);
+    b.add(x(13), x(13), x(15));
+    b.ld(x(14), x(13), 0);
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.shri(x(13), x(25), 41);
+    b.xor_(x(14), x(14), x(13));
+    b.andi(x(14), x(14), 1);
+    Label no_match = b.label();
+    b.beq(x(14), x(0), no_match);
+    b.addi(x(18), x(18), 2);
+    b.bind(no_match);
+    // Hash-table RMW through a slow divide (FL-MO); one site runs every
+    // iteration, the other every other iteration.
+    b.div(x(11), x(16), x(17));
+    b.st(x(15), 8, x(11));
+    b.ld(x(12), x(15), 8);
+    b.add(x(18), x(18), x(12));
+    Label skip_rmw = b.label();
+    b.andi(x(14), x(7), 1);
+    b.bne(x(14), x(0), skip_rmw);
+    b.div(x(11), x(16), x(17));
+    b.st(x(15), 16, x(11));
+    b.ld(x(12), x(15), 16);
+    b.add(x(18), x(18), x(12));
+    b.bind(skip_rmw);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "xz-like: compression with mixed events"};
+}
+
+Workload
+gcc()
+{
+    // Compiler-style code: a 131 KB call graph (33 pages) that thrashes
+    // both the L1 I-cache and the 32-entry I-TLB -> DR-L1 plus DR-TLB.
+    // Hot passes run every lap, cold passes every 4th lap, giving
+    // front-end event-count diversity.
+    constexpr unsigned hotFns = 40;
+    constexpr unsigned coldFns = 24;
+    constexpr unsigned bodyInsts = 512; // ~2 KB per function
+    constexpr unsigned laps = 200;
+    ProgramBuilder b("gcc");
+    std::vector<Label> hot(hotFns), cold(coldFns);
+    for (auto &l : hot)
+        l = b.label();
+    for (auto &l : cold)
+        l = b.label();
+
+    b.beginFunction("compile_unit");
+    b.li(x(20), laps);
+    b.li(x(21), 0);
+    b.li(x(22), static_cast<std::int64_t>(auxBase));
+    Label outer = b.here();
+    for (unsigned i = 0; i < hotFns; ++i)
+        b.call(hot[i]);
+    Label skip_cold = b.label();
+    b.andi(x(9), x(21), 3);
+    b.bne(x(9), x(0), skip_cold);
+    for (unsigned i = 0; i < coldFns; ++i)
+        b.call(cold[i]);
+    b.bind(skip_cold);
+    b.addi(x(21), x(21), 1);
+    b.blt(x(21), x(20), outer);
+    b.halt();
+    b.endFunction();
+
+    auto emit_body = [&](unsigned idx) {
+        for (unsigned k = 0; k + 1 < bodyInsts; ++k) {
+            if (k % 32 == 9) {
+                b.ld(x(9), x(22), 8 * ((idx + k) % 64));
+                b.add(x(10), x(10), x(9));
+            } else {
+                b.addi(x(5 + (k % 8)), x(5 + (k % 8)), 1);
+            }
+        }
+        b.ret();
+    };
+    for (unsigned i = 0; i < hotFns; ++i) {
+        b.beginFunction("pass_hot" + std::to_string(i));
+        b.bind(hot[i]);
+        emit_body(i);
+        b.endFunction();
+    }
+    for (unsigned i = 0; i < coldFns; ++i) {
+        b.beginFunction("pass_cold" + std::to_string(i));
+        b.bind(cold[i]);
+        emit_body(hotFns + i);
+        b.endFunction();
+    }
+    return Workload{b.build(), ArchState{},
+                    "gcc-like: large code footprint (I-cache + I-TLB)"};
+}
+
+Workload
+deepsjeng()
+{
+    // Alpha-beta chess search: hard-to-predict evaluation branches plus
+    // transposition-table probes scattered over 8 MiB (a mix of FL-MB
+    // and ST-LLC that neither exchange2 nor mcf has).
+    constexpr unsigned iterations = 60000;
+    constexpr std::uint64_t ttWords = 1 << 20; // 8 MiB
+    ArchState st;
+    Rng rng(71);
+    for (unsigned i = 0; i < 2048; ++i)
+        st.mem.write(auxBase + 8 * i, rng.below(2));
+
+    ProgramBuilder b("deepsjeng");
+    Label eval_fn = b.label();
+    b.beginFunction("search");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(15), static_cast<std::int64_t>(auxBase));
+    b.li(x(19), 0x2545f491);
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 16180);
+    Label top = b.here();
+    // Zobrist-hash transposition-table probe.
+    b.mul(x(9), x(7), x(19));
+    b.andi(x(9), x(9), static_cast<std::int64_t>(ttWords * 8 - 1));
+    b.andi(x(9), x(9), ~7LL);
+    b.add(x(9), x(9), x(5));
+    b.ld(x(10), x(9), 0);
+    // Unpredictable cutoff branch: probe result mixed with fresh
+    // position entropy (an LCG; table bits would be memorized).
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.shri(x(12), x(25), 41);
+    b.xor_(x(12), x(12), x(10));
+    b.andi(x(12), x(12), 1);
+    Label cutoff = b.label();
+    b.beq(x(12), x(0), cutoff);
+    b.call(eval_fn);
+    b.bind(cutoff);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+
+    b.beginFunction("evaluate");
+    b.bind(eval_fn);
+    b.mul(x(13), x(10), x(10));
+    b.shri(x(14), x(13), 3);
+    b.add(x(16), x(13), x(14));
+    b.xor_(x(16), x(16), x(10));
+    b.andi(x(17), x(16), 255);
+    b.add(x(18), x(18), x(17));
+    b.ret();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "deepsjeng-like: search with mixed FL-MB + ST-LLC"};
+}
+
+Workload
+roms()
+{
+    // Ocean-model stencil: four read streams and one write stream with
+    // a short FP body -- high memory-level parallelism, so misses are
+    // largely overlapped (bandwidth-bound, in contrast to lbm's
+    // latency exposure).
+    constexpr unsigned lines = 20 * 1024; // per stream
+    ProgramBuilder b("roms");
+    b.beginFunction("step3d");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), static_cast<std::int64_t>(srcBase) +
+                   static_cast<std::int64_t>(lines) * 64);
+    b.li(x(7), static_cast<std::int64_t>(dstBase));
+    b.fli(f(10), 0.0625);
+    Label top = b.here();
+    b.fld(f(1), x(5), 0);            // stream 0
+    b.fld(f(2), x(5), 4 << 20);      // stream 1
+    b.fld(f(3), x(5), 8 << 20);      // stream 2
+    b.fld(f(4), x(5), 12 << 20);     // stream 3
+    b.fadd(f(5), f(1), f(2));
+    b.fadd(f(6), f(3), f(4));
+    b.fmul(f(7), f(5), f(10));
+    b.fadd(f(8), f(7), f(6));
+    b.fst(x(7), 0, f(8));
+    b.addi(x(5), x(5), 64);
+    b.addi(x(7), x(7), 64);
+    b.blt(x(5), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "roms-like: high-MLP streaming (bandwidth-bound)"};
+}
+
+Workload
+cam4()
+{
+    // Atmosphere physics: FP-divide-heavy column computation with
+    // periodic scattered lookups into 16 MiB of tables (solitary
+    // ST-TLB/ST-LLC) -- exposes the unpipelined divider like nab's
+    // sqrt, without the CSR flushes.
+    constexpr unsigned iterations = 26000;
+    ProgramBuilder b("cam4");
+    b.beginFunction("tphysbc");
+    b.li(x(5), static_cast<std::int64_t>(srcBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(19), 0x9e3779b9);
+    b.fli(f(10), 1.25);
+    b.fli(f(11), 3.5);
+    Label top = b.here();
+    // Scattered physics-table lookup every 4th iteration.
+    Label no_lookup = b.label();
+    b.andi(x(9), x(7), 3);
+    b.bne(x(9), x(0), no_lookup);
+    b.mul(x(9), x(7), x(19));
+    b.andi(x(9), x(9), (16 << 20) - 1);
+    b.andi(x(9), x(9), ~7LL);
+    b.add(x(9), x(9), x(5));
+    b.fld(f(1), x(9), 0);
+    b.fadd(f(11), f(11), f(1));
+    b.bind(no_lookup);
+    // Saturation-vapor-pressure style divide chain.
+    b.fdiv(f(2), f(10), f(11));
+    b.fmul(f(3), f(2), f(10));
+    b.fadd(f(4), f(4), f(3));
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), ArchState{},
+                    "cam4-like: divide-bound FP with scattered lookups"};
+}
+
+Workload
+perlbench()
+{
+    // Bytecode-interpreter dispatch: sequential opcode fetch from an
+    // L1-resident program, a chain of compare-and-branch dispatch tests
+    // with data-dependent directions, and operand-stack traffic that
+    // exercises store-to-load forwarding.
+    constexpr unsigned bytecodeWords = 4096; // 32 KiB program
+    constexpr unsigned iterations = 90000;
+    ArchState st;
+    Rng rng(83);
+    for (unsigned i = 0; i < bytecodeWords; ++i)
+        st.mem.write(auxBase + 8 * i, rng.below(4)); // 4 opcodes
+
+    ProgramBuilder b("perlbench");
+    b.beginFunction("runops");
+    b.li(x(5), static_cast<std::int64_t>(auxBase));
+    b.li(x(6), iterations);
+    b.li(x(7), 0);
+    b.li(x(15), static_cast<std::int64_t>(dstBase)); // operand stack
+    b.li(x(24), 6364136223846793005LL);
+    b.li(x(25), 141421);
+    Label top = b.here();
+    b.andi(x(9), x(7), bytecodeWords - 1);
+    b.shli(x(9), x(9), 3);
+    b.add(x(9), x(9), x(5));
+    b.ld(x(10), x(9), 0); // fetch opcode
+    // The interpreted program's opcode stream is fresh input, not a
+    // repeating table: mix with an LCG.
+    b.mul(x(25), x(25), x(24));
+    b.addi(x(25), x(25), 1442695040888963407LL);
+    b.shri(x(11), x(25), 41);
+    b.xor_(x(10), x(10), x(11));
+    b.andi(x(10), x(10), 3);
+    // Dispatch chain: opcode == 0? == 1? == 2? (else fall through).
+    Label op1 = b.label();
+    Label op2 = b.label();
+    Label done = b.label();
+    b.bne(x(10), x(0), op1);
+    b.addi(x(12), x(12), 1); // OP_CONST: push
+    b.st(x(15), 0, x(12));
+    b.jmp(done);
+    b.bind(op1);
+    b.slti(x(11), x(10), 2);
+    b.beq(x(11), x(0), op2);
+    b.ld(x(13), x(15), 0); // OP_ADD: pop (forwards from the push)
+    b.add(x(12), x(12), x(13));
+    b.jmp(done);
+    b.bind(op2);
+    b.mul(x(14), x(10), x(12)); // OP_MUL-ish
+    b.andi(x(14), x(14), 1023);
+    b.bind(done);
+    b.addi(x(7), x(7), 1);
+    b.blt(x(7), x(6), top);
+    b.halt();
+    b.endFunction();
+    return Workload{b.build(), std::move(st),
+                    "perlbench-like: interpreter dispatch (FL-MB + "
+                    "forwarding)"};
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    return {"lbm",       "nab",       "bwaves",    "omnetpp",
+            "fotonik3d", "exchange2", "mcf",       "xalancbmk",
+            "cactuBSSN", "xz",        "gcc",       "deepsjeng",
+            "roms",      "cam4",      "perlbench"};
+}
+
+Workload
+byName(const std::string &name)
+{
+    if (name == "lbm")
+        return lbm();
+    if (name == "nab")
+        return nab();
+    if (name == "bwaves")
+        return bwaves();
+    if (name == "omnetpp")
+        return omnetpp();
+    if (name == "fotonik3d")
+        return fotonik3d();
+    if (name == "exchange2")
+        return exchange2();
+    if (name == "mcf")
+        return mcf();
+    if (name == "xalancbmk")
+        return xalancbmk();
+    if (name == "cactuBSSN")
+        return cactuBSSN();
+    if (name == "xz")
+        return xz();
+    if (name == "gcc")
+        return gcc();
+    if (name == "deepsjeng")
+        return deepsjeng();
+    if (name == "roms")
+        return roms();
+    if (name == "cam4")
+        return cam4();
+    if (name == "perlbench")
+        return perlbench();
+    tea_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace workloads
+} // namespace tea

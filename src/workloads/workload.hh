@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Workloads: programs plus their initial architectural state.
+ *
+ * The SPEC CPU2017-like suite consists of synthetic kernels that imitate
+ * the microarchitectural behaviour the paper attributes to each
+ * benchmark (see DESIGN.md for the per-benchmark rationale); the
+ * microkernels are small targeted programs used by the tests.
+ */
+
+#ifndef TEA_WORKLOADS_WORKLOAD_HH
+#define TEA_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/executor.hh"
+#include "isa/program.hh"
+
+namespace tea {
+
+/** A runnable workload. */
+struct Workload
+{
+    Program program;
+    ArchState initial;
+    std::string description;
+};
+
+namespace workloads {
+
+/** lbm parameters (Fig 10/11 case study). */
+struct LbmParams
+{
+    /** Cells (cache lines) per array; 3 arrays are streamed. */
+    unsigned cells = 24 * 1024; ///< 1.5 MiB/array read + 2 written
+    /** Outer repetitions over the arrays. */
+    unsigned sweeps = 2;
+    /**
+     * Software-prefetch distance in loop iterations (0 = no prefetch),
+     * swept by the Fig 11 bench.
+     */
+    unsigned prefetchDistance = 0;
+};
+
+/** nab compilation variants (Fig 12 case study). */
+enum class NabVariant
+{
+    Ieee,   ///< fsflags + frflags before every comparison (IEEE 754)
+    Finite, ///< -ffinite-math-only: one CSR flush per iteration
+    Fast,   ///< -ffast-math: no CSR flushes
+};
+
+struct NabParams
+{
+    unsigned iterations = 30000;
+    NabVariant variant = NabVariant::Ieee;
+};
+
+/** Streaming LLC-missing loads, store-bandwidth-sensitive stores. */
+Workload lbm(const LbmParams &params = {});
+
+/** fsqrt serialized by always-flushing IEEE-754 CSR instructions. */
+Workload nab(const NabParams &params = {});
+
+/** Large-stride streaming: combined cache + TLB misses. */
+Workload bwaves();
+
+/** Pointer chasing over a large heap: combined events, non-hidden. */
+Workload omnetpp();
+
+/** Unit-stride streaming over a huge array: solitary cache misses. */
+Workload fotonik3d();
+
+/** Compute-bound, branchy integer puzzle: mispredicts, few misses. */
+Workload exchange2();
+
+/** Pointer chasing with aliased read-modify-writes: FL-MO traffic. */
+Workload mcf();
+
+/** Large code footprint: instruction cache misses. */
+Workload xalancbmk();
+
+/** Store-bandwidth-bound stencil: DR-SQ pressure at several sites. */
+Workload cactuBSSN();
+
+/** Compression-like mixed behavior: scattered loads, branches, FL-MO. */
+Workload xz();
+
+/** Very large code footprint: I-cache plus I-TLB misses. */
+Workload gcc();
+
+/** Search with mixed mispredicts and transposition-table misses. */
+Workload deepsjeng();
+
+/** High-MLP multi-stream stencil: bandwidth-bound, hidden misses. */
+Workload roms();
+
+/** FP-divide-bound physics with scattered table lookups. */
+Workload cam4();
+
+/** Interpreter dispatch: mispredicts plus operand-stack forwarding. */
+Workload perlbench();
+
+/** The full SPEC-like suite in report order. */
+std::vector<std::string> suiteNames();
+
+/** Construct a suite benchmark by name (fatal on unknown name). */
+Workload byName(const std::string &name);
+
+// --- microkernels for tests ------------------------------------------
+
+/** Tight ALU loop: IPC sanity / golden-total checks. */
+Workload aluLoop(unsigned iterations);
+
+/** Dependent pointer chase of @p nodes nodes, @p laps laps. */
+Workload pointerChase(unsigned nodes, unsigned laps,
+                      std::uint64_t spacing_bytes);
+
+/** Read-sum a @p lines-line array @p laps times (unit stride). */
+Workload streamSum(unsigned lines, unsigned laps);
+
+/** Data-dependent unpredictable branches. */
+Workload branchNoise(unsigned iterations, std::uint64_t seed = 42);
+
+/** Store burst that fills the store queue (DR-SQ). */
+Workload storeBurst(unsigned lines, unsigned laps);
+
+/** fsqrt preceded by always-flushing CSR ops (FL-EX). */
+Workload flushySqrt(unsigned iterations, bool with_flushes);
+
+/** Loop whose code footprint exceeds the L1 I-cache (DR-L1). */
+Workload icacheWalk(unsigned functions, unsigned laps);
+
+/** Store-to-load aliasing producing memory-ordering violations. */
+Workload orderingViolator(unsigned iterations);
+
+} // namespace workloads
+} // namespace tea
+
+#endif // TEA_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the experiment runner and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hh"
+#include "analysis/runner.hh"
+
+using namespace tea;
+
+TEST(Runner, RunsAllTechniquesOnOneTrace)
+{
+    ExperimentResult res = runBenchmark("exchange2",
+                                        standardTechniques());
+    ASSERT_EQ(res.techniques.size(), 5u);
+    EXPECT_EQ(res.techniques[0].config.name, "IBS");
+    EXPECT_EQ(res.techniques[4].config.name, "TEA");
+    for (const TechniqueResult &t : res.techniques)
+        EXPECT_GT(t.samplesTaken, 100u) << t.config.name;
+    EXPECT_GT(res.golden->pics().total(), 0.0);
+}
+
+TEST(Runner, TechniqueLookupByName)
+{
+    ExperimentResult res = runBenchmark("exchange2", {teaConfig()});
+    EXPECT_EQ(res.technique("TEA").config.policy,
+              SamplePolicy::TimeProportional);
+}
+
+TEST(Runner, ErrorOrderingOnFlushHeavyBenchmark)
+{
+    ExperimentResult res = runBenchmark("nab", standardTechniques());
+    double tea = res.errorOf(res.technique("TEA"));
+    double nci = res.errorOf(res.technique("NCI-TEA"));
+    double ibs = res.errorOf(res.technique("IBS"));
+    EXPECT_LT(tea, nci);
+    EXPECT_LT(nci, ibs);
+}
+
+TEST(Runner, ErrorUsesMaskedGolden)
+{
+    // A technique must not be penalized for events outside its set:
+    // TIP (no events) on a miss-heavy benchmark still gets a meaningful
+    // (instruction-profile) error, strictly below 100%.
+    ExperimentResult res = runBenchmark("fotonik3d", {tipConfig()});
+    double err = res.errorOf(res.technique("TIP"));
+    EXPECT_GT(err, 0.0);
+    EXPECT_LT(err, 0.2);
+}
+
+TEST(Runner, GranularityReducesError)
+{
+    ExperimentResult res = runBenchmark("xalancbmk", {teaConfig()});
+    const TechniqueResult &tea = res.technique("TEA");
+    double inst = res.errorOf(tea, Granularity::Instruction);
+    double fn = res.errorOf(tea, Granularity::Function);
+    double app = res.errorOf(tea, Granularity::Application);
+    EXPECT_LE(fn, inst);
+    EXPECT_LE(app, fn + 1e-9);
+}
+
+TEST(Runner, CustomConfigRespected)
+{
+    CoreConfig tiny;
+    tiny.robEntries = 32;
+    ExperimentResult big = runBenchmark("fotonik3d", {});
+    ExperimentResult small = runBenchmark("fotonik3d", {}, tiny);
+    EXPECT_GT(small.stats.cycles, big.stats.cycles);
+}
+
+TEST(Report, TopInstructionsRendersDisassemblyAndSignatures)
+{
+    ExperimentResult res = runBenchmark("nab", {});
+    std::string out = renderTopInstructions(res.program,
+                                            res.golden->pics(), 3,
+                                            res.golden->pics().total());
+    EXPECT_NE(out.find("fsqrt"), std::string::npos);
+    EXPECT_NE(out.find("FL-EX"), std::string::npos);
+    EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(Report, InstructionStackForSpecificPc)
+{
+    ExperimentResult res = runBenchmark("exchange2", {});
+    auto top = res.golden->pics().topUnits(1);
+    ASSERT_FALSE(top.empty());
+    std::string out = renderInstructionStack(
+        res.program, res.golden->pics(), top[0],
+        res.golden->pics().total());
+    EXPECT_FALSE(out.empty());
+    EXPECT_NE(out.find("cycles"), std::string::npos);
+}
+
+TEST(Report, HandlesZeroTotalGracefully)
+{
+    ExperimentResult res = runBenchmark("exchange2", {});
+    Pics empty;
+    std::string out =
+        renderTopInstructions(res.program, empty, 3, 0.0);
+    EXPECT_TRUE(out.empty());
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the cache tag arrays, MSHRs, TLBs and branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/branch_predictor.hh"
+#include "core/cache.hh"
+#include "core/tlb.hh"
+#include "isa/memory.hh"
+
+using namespace tea;
+
+namespace {
+
+CacheConfig
+smallCache()
+{
+    return CacheConfig{4 * 1024, 4, 4, 2}; // 16 sets x 4 ways
+}
+
+} // namespace
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(smallCache(), "t");
+    EXPECT_FALSE(c.access(0x1000));
+    c.insert(0x1000, false);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.accesses, 2u);
+    EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(CacheArray, LruEviction)
+{
+    CacheArray c(smallCache(), "t");
+    // Fill one set (set stride = numSets * lineBytes).
+    Addr stride = c.numSets() * lineBytes;
+    for (unsigned i = 0; i < 4; ++i)
+        c.insert(i * stride, false);
+    // Touch line 0 so line 1 becomes LRU.
+    EXPECT_TRUE(c.access(0));
+    Eviction ev = c.insert(4 * stride, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, stride); // line 1 evicted
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(stride));
+}
+
+TEST(CacheArray, DirtyEvictionReported)
+{
+    CacheArray c(smallCache(), "t");
+    Addr stride = c.numSets() * lineBytes;
+    c.insert(0, true);
+    for (unsigned i = 1; i < 5; ++i) {
+        Eviction ev = c.insert(i * stride, false);
+        if (ev.valid) {
+            EXPECT_EQ(ev.line, 0u);
+            EXPECT_TRUE(ev.dirty);
+            return;
+        }
+    }
+    FAIL() << "expected an eviction";
+}
+
+TEST(CacheArray, MarkDirtyAndInvalidate)
+{
+    CacheArray c(smallCache(), "t");
+    c.insert(0x40, false);
+    c.markDirty(0x40);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(CacheArray, InsertExistingMergesDirty)
+{
+    CacheArray c(smallCache(), "t");
+    c.insert(0x80, false);
+    Eviction ev = c.insert(0x80, true); // no eviction, becomes dirty
+    EXPECT_FALSE(ev.valid);
+    Addr stride = c.numSets() * lineBytes;
+    for (unsigned i = 1; i <= 4; ++i) {
+        Eviction e2 = c.insert(0x80 + i * stride, false);
+        if (e2.valid && e2.line == 0x80) {
+            EXPECT_TRUE(e2.dirty);
+            return;
+        }
+    }
+    FAIL() << "expected the merged line to be evicted dirty";
+}
+
+TEST(Mshr, MergeReturnsFillTime)
+{
+    MshrFile m(2);
+    EXPECT_EQ(m.outstandingFill(0x100, 0), invalidCycle);
+    m.allocate(0x100, 50);
+    EXPECT_EQ(m.outstandingFill(0x100, 10), 50u);
+    EXPECT_EQ(m.inFlight(10), 1u);
+}
+
+TEST(Mshr, PruneCompletedFills)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 50);
+    EXPECT_EQ(m.outstandingFill(0x100, 60), invalidCycle);
+    EXPECT_EQ(m.inFlight(60), 0u);
+}
+
+TEST(Mshr, FullDelaysAllocation)
+{
+    MshrFile m(2);
+    m.allocate(0x100, 50);
+    m.allocate(0x200, 70);
+    EXPECT_EQ(m.allocatableAt(10), 50u); // earliest fill
+    EXPECT_EQ(m.allocatableAt(55), 55u); // one entry freed
+}
+
+TEST(Tlb, L1HitAfterFill)
+{
+    TlbConfig cfg;
+    L2Tlb l2(cfg.l2Entries);
+    TlbHierarchy tlb(cfg, l2, "t");
+    TlbResult first = tlb.translate(0x5000);
+    EXPECT_TRUE(first.l1Miss);
+    EXPECT_EQ(first.extraLatency, cfg.walkLatency);
+    TlbResult second = tlb.translate(0x5008); // same page
+    EXPECT_FALSE(second.l1Miss);
+    EXPECT_EQ(second.extraLatency, 0u);
+}
+
+TEST(Tlb, L2HitIsCheaperThanWalk)
+{
+    TlbConfig cfg;
+    cfg.l1Entries = 2;
+    L2Tlb l2(cfg.l2Entries);
+    TlbHierarchy tlb(cfg, l2, "t");
+    tlb.translate(10 * pageBytes);
+    tlb.translate(11 * pageBytes);
+    tlb.translate(12 * pageBytes); // evicts the first from the L1
+    TlbResult again = tlb.translate(10 * pageBytes);
+    EXPECT_TRUE(again.l1Miss);
+    EXPECT_EQ(again.extraLatency, cfg.l2HitLatency);
+}
+
+TEST(Tlb, L2DirectMappedConflicts)
+{
+    TlbConfig cfg;
+    cfg.l1Entries = 1;
+    L2Tlb l2(4);
+    TlbHierarchy tlb(cfg, l2, "t");
+    Addr a = 0;
+    Addr b = 4 * pageBytes; // same L2 slot (4-entry direct-mapped)
+    tlb.translate(a);
+    tlb.translate(b);
+    TlbResult r = tlb.translate(a);
+    EXPECT_EQ(r.extraLatency, cfg.walkLatency); // L2 entry clobbered
+}
+
+class PredictorKinds
+    : public ::testing::TestWithParam<PredictorKind>
+{
+  protected:
+    std::unique_ptr<BranchPredictor>
+    make() const
+    {
+        CoreConfig cfg;
+        cfg.predictor = GetParam();
+        return makePredictor(cfg);
+    }
+};
+
+TEST_P(PredictorKinds, LearnsBiasedBranch)
+{
+    auto bp = make();
+    // Train past history saturation so the steady-state index is the
+    // one consulted at the next prediction.
+    for (int i = 0; i < 60; ++i)
+        bp->update(100, true);
+    EXPECT_TRUE(bp->predict(100));
+}
+
+TEST_P(PredictorKinds, LearnsAlternatingWithHistory)
+{
+    auto bp = make();
+    // Period-2 pattern: global history disambiguates it.
+    std::uint64_t wrong = 0;
+    for (int i = 0; i < 4000; ++i) {
+        bool taken = (i & 1) != 0;
+        if (bp->predict(7) != taken && i > 1000)
+            ++wrong;
+        bp->update(7, taken);
+    }
+    EXPECT_LT(wrong, 30u);
+}
+
+TEST_P(PredictorKinds, CountsMispredicts)
+{
+    auto bp = make();
+    bp->update(5, true); // initial counters predict not-taken
+    EXPECT_EQ(bp->mispredicts, 1u);
+    EXPECT_EQ(bp->lookups, 1u);
+}
+
+TEST_P(PredictorKinds, RandomBranchesStayUnpredictable)
+{
+    auto bp = make();
+    Rng rng(5);
+    std::uint64_t wrong = 0;
+    constexpr int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        bool taken = rng.chance(0.5);
+        if (bp->predict(9) != taken)
+            ++wrong;
+        bp->update(9, taken);
+    }
+    // No predictor beats a fair coin by much.
+    EXPECT_GT(wrong, n / 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Both, PredictorKinds,
+    ::testing::Values(PredictorKind::Tage, PredictorKind::Gshare),
+    [](const ::testing::TestParamInfo<PredictorKind> &info) {
+        return info.param == PredictorKind::Tage ? "tage" : "gshare";
+    });
+
+TEST(Tage, BeatsGshareOnLongPatterns)
+{
+    // A period-24 pattern exceeds gshare's useful reach at this table
+    // size but fits TAGE's longer history components.
+    auto run = [](PredictorKind kind) {
+        CoreConfig cfg;
+        cfg.predictor = kind;
+        auto bp = makePredictor(cfg);
+        std::uint64_t wrong = 0;
+        for (int i = 0; i < 30000; ++i) {
+            bool taken = (i % 24) < 7;
+            if (bp->predict(33) != taken && i > 10000)
+                ++wrong;
+            bp->update(33, taken);
+        }
+        return wrong;
+    };
+    std::uint64_t tage_wrong = run(PredictorKind::Tage);
+    std::uint64_t gshare_wrong = run(PredictorKind::Gshare);
+    EXPECT_LT(tage_wrong, 200u);
+    EXPECT_LT(tage_wrong * 2, gshare_wrong + 1);
+}
+
+TEST(Tage, StorageBudgetNearTable2)
+{
+    CoreConfig cfg;
+    TagePredictor tage(cfg);
+    double kb = static_cast<double>(tage.storageBits()) / 8.0 / 1024.0;
+    EXPECT_GT(kb, 15.0);
+    EXPECT_LT(kb, 32.0); // Table 2: 28 KB TAGE class
+}

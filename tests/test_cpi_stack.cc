@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the related-work baselines: application CPI stacks and the
+ * top-down classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/cpi_stack.hh"
+#include "analysis/runner.hh"
+
+using namespace tea;
+
+TEST(CpiStack, TotalMatchesMeasuredCpi)
+{
+    ExperimentResult res = runBenchmark("exchange2", {});
+    CpiStack s = cpiStackFrom(*res.golden, res.stats);
+    double measured_cpi = static_cast<double>(res.stats.cycles) /
+                          static_cast<double>(res.stats.committedUops);
+    // The golden reference attributes every cycle, so the stack's total
+    // equals the measured CPI (up to the end-of-run tail).
+    EXPECT_NEAR(s.total(), measured_cpi, 0.01 * measured_cpi);
+}
+
+TEST(CpiStack, MemoryBenchmarkIsMissDominated)
+{
+    ExperimentResult res = runBenchmark("fotonik3d", {});
+    CpiStack s = cpiStackFrom(*res.golden, res.stats);
+    double mem = s.eventCpi[static_cast<unsigned>(Event::StL1)] +
+                 s.eventCpi[static_cast<unsigned>(Event::StLlc)];
+    EXPECT_GT(mem, s.baseCpi * 0.5);
+    EXPECT_GT(mem, 0.5);
+}
+
+TEST(CpiStack, FlushBenchmarkShowsFlEx)
+{
+    ExperimentResult res = runBenchmark("nab", {});
+    CpiStack s = cpiStackFrom(*res.golden, res.stats);
+    EXPECT_GT(s.eventCpi[static_cast<unsigned>(Event::FlEx)], 0.5);
+}
+
+TEST(CpiStack, RenderListsComponents)
+{
+    ExperimentResult res = runBenchmark("lbm", {});
+    CpiStack s = cpiStackFrom(*res.golden, res.stats);
+    std::string out = s.render();
+    EXPECT_NE(out.find("ST-LLC"), std::string::npos);
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST(TopDown, FractionsSumToOne)
+{
+    ExperimentResult res = runBenchmark("mcf", {});
+    TopDown td = topDownFrom(res.stats);
+    EXPECT_NEAR(td.retiring + td.backEndBound + td.frontEndBound +
+                    td.badSpeculation,
+                1.0, 1e-9);
+}
+
+TEST(TopDown, ClassifiesKnownBenchmarks)
+{
+    ExperimentResult mem = runBenchmark("omnetpp", {});
+    EXPECT_STREQ(topDownFrom(mem.stats).dominant(), "back-end bound");
+    ExperimentResult fe = runBenchmark("xalancbmk", {});
+    EXPECT_STREQ(topDownFrom(fe.stats).dominant(), "front-end bound");
+    ExperimentResult spec = runBenchmark("perlbench", {});
+    EXPECT_GT(topDownFrom(spec.stats).badSpeculation, 0.25);
+}
+
+TEST(TopDown, EmptyStatsAreSafe)
+{
+    CoreStats empty;
+    TopDown td = topDownFrom(empty);
+    EXPECT_EQ(td.retiring, 0.0);
+}
+
+TEST(CoreStatsRender, ListsAllCounterGroups)
+{
+    ExperimentResult res = runBenchmark("nab", {});
+    std::string out = res.stats.render();
+    EXPECT_NE(out.find("sim.cycles"), std::string::npos);
+    EXPECT_NE(out.find("commit.flushedCycles"), std::string::npos);
+    EXPECT_NE(out.find("events.FL-EX"), std::string::npos);
+    EXPECT_NE(out.find("lsu.moViolations"), std::string::npos);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for events, PSVs and the Table 1 event sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "events/event.hh"
+
+using namespace tea;
+
+TEST(Psv, StartsEmpty)
+{
+    Psv p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.popcount(), 0u);
+    EXPECT_EQ(p.name(), "Base");
+}
+
+TEST(Psv, SetAndTest)
+{
+    Psv p;
+    p.set(Event::StL1);
+    EXPECT_TRUE(p.test(Event::StL1));
+    EXPECT_FALSE(p.test(Event::StLlc));
+    EXPECT_EQ(p.popcount(), 1u);
+}
+
+TEST(Psv, NameJoinsEvents)
+{
+    Psv p;
+    p.set(Event::StL1);
+    p.set(Event::StTlb);
+    EXPECT_EQ(p.name(), "ST-L1+ST-TLB");
+}
+
+TEST(Psv, MergeUnionsBits)
+{
+    Psv a;
+    a.set(Event::DrL1);
+    Psv b;
+    b.set(Event::FlMb);
+    a.merge(b);
+    EXPECT_TRUE(a.test(Event::DrL1));
+    EXPECT_TRUE(a.test(Event::FlMb));
+}
+
+TEST(Psv, MaskedRestrictsToSet)
+{
+    Psv p;
+    p.set(Event::DrSq);
+    p.set(Event::StL1);
+    Psv m = p.masked(ibsEventSet().mask);
+    EXPECT_FALSE(m.test(Event::DrSq)); // IBS does not capture DR-SQ
+    EXPECT_TRUE(m.test(Event::StL1));
+}
+
+TEST(Psv, ClearResets)
+{
+    Psv p;
+    p.set(Event::FlEx);
+    p.clear();
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(EventNames, AllDistinct)
+{
+    for (unsigned i = 0; i < numEvents; ++i) {
+        for (unsigned j = i + 1; j < numEvents; ++j) {
+            EXPECT_STRNE(eventName(static_cast<Event>(i)),
+                         eventName(static_cast<Event>(j)));
+        }
+    }
+}
+
+TEST(EventNames, FollowStateDashEventConvention)
+{
+    EXPECT_STREQ(eventName(Event::StL1), "ST-L1");
+    EXPECT_STREQ(eventName(Event::DrTlb), "DR-TLB");
+    EXPECT_STREQ(eventName(Event::FlMo), "FL-MO");
+}
+
+TEST(CommitStates, Names)
+{
+    EXPECT_STREQ(commitStateName(CommitState::Compute), "Compute");
+    EXPECT_STREQ(commitStateName(CommitState::Stalled), "Stalled");
+    EXPECT_STREQ(commitStateName(CommitState::Drained), "Drained");
+    EXPECT_STREQ(commitStateName(CommitState::Flushed), "Flushed");
+}
+
+TEST(EventSets, PaperBitWidths)
+{
+    // The paper states TEA 9, IBS 6, SPE 5, RIS 7 bits.
+    EXPECT_EQ(teaEventSet().size(), 9u);
+    EXPECT_EQ(ibsEventSet().size(), 6u);
+    EXPECT_EQ(speEventSet().size(), 5u);
+    EXPECT_EQ(risEventSet().size(), 7u);
+}
+
+TEST(EventSets, TeaIsSuperset)
+{
+    for (const EventSet *s : table1EventSets())
+        EXPECT_EQ(s->mask & teaEventSet().mask, s->mask);
+}
+
+TEST(EventSets, OnlyTeaCapturesDrSq)
+{
+    EXPECT_TRUE(teaEventSet().contains(Event::DrSq));
+    EXPECT_FALSE(ibsEventSet().contains(Event::DrSq));
+    EXPECT_FALSE(speEventSet().contains(Event::DrSq));
+    EXPECT_FALSE(risEventSet().contains(Event::DrSq));
+}
+
+TEST(EventSets, MemoryTrioSharedByAll)
+{
+    for (const EventSet *s : table1EventSets()) {
+        EXPECT_TRUE(s->contains(Event::StL1)) << s->name;
+        EXPECT_TRUE(s->contains(Event::StTlb)) << s->name;
+        EXPECT_TRUE(s->contains(Event::FlMb)) << s->name;
+    }
+}
+
+TEST(EventMask, BuildsFromList)
+{
+    std::uint16_t m = eventMask({Event::DrL1, Event::StLlc});
+    EXPECT_EQ(m, (1u << 0) | (1u << 8));
+}

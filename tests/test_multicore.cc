@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the multi-core system: shared-uncore timing, functional
+ * isolation, contention effects and per-thread profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "profilers/golden.hh"
+#include "profilers/sampler.hh"
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+TEST(Multicore, SingleCoreSystemMatchesStandaloneCore)
+{
+    Workload w1 = workloads::branchNoise(3000);
+    Workload w2 = workloads::branchNoise(3000);
+
+    CoreRun solo = runCore(std::move(w1));
+
+    CoreConfig cfg;
+    System sys(cfg);
+    unsigned id = sys.addCore(std::move(w2.program),
+                              std::move(w2.initial));
+    sys.run();
+    EXPECT_EQ(sys.core(id).stats().cycles, solo->stats().cycles);
+    EXPECT_EQ(sys.core(id).stats().committedUops,
+              solo->stats().committedUops);
+}
+
+TEST(Multicore, BothCoresHaltWithCorrectResults)
+{
+    Workload a = workloads::aluLoop(2000);
+    Workload b = workloads::streamSum(2000, 1);
+    ArchState oracle_a = runFunctional(a.program, a.initial);
+    ArchState oracle_b = runFunctional(b.program, b.initial);
+
+    CoreConfig cfg;
+    System sys(cfg);
+    unsigned ca = sys.addCore(std::move(a.program), std::move(a.initial));
+    unsigned cb = sys.addCore(std::move(b.program), std::move(b.initial));
+    sys.run();
+
+    EXPECT_TRUE(sys.core(ca).halted());
+    EXPECT_TRUE(sys.core(cb).halted());
+    for (unsigned r = 0; r < numArchRegs; ++r) {
+        EXPECT_EQ(sys.core(ca).archState().regs[r], oracle_a.regs[r]);
+        EXPECT_EQ(sys.core(cb).archState().regs[r], oracle_b.regs[r]);
+    }
+}
+
+TEST(Multicore, SharedBandwidthSlowsMemoryBoundCorun)
+{
+    // A memory-bound kernel co-run with another memory-bound kernel must
+    // be slower than run alone (shared DRAM bandwidth and LLC).
+    Workload solo = workloads::streamSum(30000, 1);
+    CoreRun alone = runCore(std::move(solo));
+
+    CoreConfig cfg;
+    System sys(cfg);
+    Workload a = workloads::streamSum(30000, 1);
+    Workload b = workloads::lbm(workloads::LbmParams{8192, 1, 0});
+    unsigned ca = sys.addCore(std::move(a.program), std::move(a.initial));
+    sys.addCore(std::move(b.program), std::move(b.initial));
+    sys.run();
+
+    EXPECT_GT(sys.core(ca).stats().cycles, alone->stats().cycles);
+}
+
+TEST(Multicore, ComputeBoundCorunBarelyAffected)
+{
+    Workload solo = workloads::aluLoop(30000);
+    CoreRun alone = runCore(std::move(solo));
+
+    CoreConfig cfg;
+    System sys(cfg);
+    Workload a = workloads::aluLoop(30000);
+    Workload b = workloads::lbm(workloads::LbmParams{8192, 1, 0});
+    unsigned ca = sys.addCore(std::move(a.program), std::move(a.initial));
+    sys.addCore(std::move(b.program), std::move(b.initial));
+    sys.run();
+
+    double slowdown = static_cast<double>(sys.core(ca).stats().cycles) /
+                      static_cast<double>(alone->stats().cycles);
+    EXPECT_LT(slowdown, 1.05); // L1-resident: no shared resources used
+}
+
+TEST(Multicore, PerCoreGoldenCoverage)
+{
+    CoreConfig cfg;
+    System sys(cfg);
+    Workload a = workloads::branchNoise(2000);
+    Workload b = workloads::streamSum(1000, 1);
+    unsigned ca = sys.addCore(std::move(a.program), std::move(a.initial));
+    unsigned cb = sys.addCore(std::move(b.program), std::move(b.initial));
+    GoldenReference ga, gb;
+    sys.addSink(ca, &ga);
+    sys.addSink(cb, &gb);
+    sys.run();
+    EXPECT_NEAR(ga.pics().total() + ga.droppedCycles(),
+                static_cast<double>(sys.core(ca).stats().cycles), 1.0);
+    EXPECT_NEAR(gb.pics().total() + gb.droppedCycles(),
+                static_cast<double>(sys.core(cb).stats().cycles), 1.0);
+}
+
+TEST(Multicore, SharedSampleBufferDemultiplexesByCore)
+{
+    CoreConfig cfg;
+    System sys(cfg);
+    Workload a = workloads::branchNoise(3000);
+    Workload b = workloads::streamSum(2000, 1);
+    unsigned ca = sys.addCore(std::move(a.program), std::move(a.initial));
+    unsigned cb = sys.addCore(std::move(b.program), std::move(b.initial));
+
+    SampleBuffer buffer;
+    TechniqueSampler ta{teaConfig(101)};
+    TechniqueSampler tb{teaConfig(101)};
+    ta.setRecorder(&buffer, static_cast<std::uint16_t>(ca), 1, 1);
+    tb.setRecorder(&buffer, static_cast<std::uint16_t>(cb), 2, 2);
+    sys.addSink(ca, &ta);
+    sys.addSink(cb, &tb);
+    sys.run();
+
+    Pics pa = picsFromRecords(buffer.records(), 101, 0x1ff,
+                              static_cast<int>(ca));
+    Pics pb = picsFromRecords(buffer.records(), 101, 0x1ff,
+                              static_cast<int>(cb));
+    EXPECT_NEAR(pa.total(), ta.pics().total(), 1e-6);
+    EXPECT_NEAR(pb.total(), tb.pics().total(), 1e-6);
+    EXPECT_NEAR(pa.errorAgainst(ta.pics()), 0.0, 1e-9);
+    EXPECT_NEAR(pb.errorAgainst(tb.pics()), 0.0, 1e-9);
+    EXPECT_GT(buffer.size(), 0u);
+}
+
+TEST(Multicore, UncoreSharedLlcVisibleAcrossCores)
+{
+    CoreConfig cfg;
+    Uncore uncore(cfg);
+    bool miss1 = false;
+    Cycle t1 = uncore.llcAccess(0x123440, 0, miss1);
+    EXPECT_TRUE(miss1);
+    bool miss2 = false;
+    Cycle t2 = uncore.llcAccess(0x123440, t1 + 1, miss2);
+    EXPECT_FALSE(miss2); // second "core" hits the shared LLC
+    EXPECT_LT(t2, t1 + 1 + cfg.dramLatency);
+}

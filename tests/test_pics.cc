@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the Pics container: accumulation, masking,
+ * normalization, aggregation and the error metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "profilers/pics.hh"
+
+using namespace tea;
+
+namespace {
+
+Psv
+psvOf(std::initializer_list<Event> events)
+{
+    Psv p;
+    for (Event e : events)
+        p.set(e);
+    return p;
+}
+
+} // namespace
+
+TEST(Pics, AddAccumulates)
+{
+    Pics p;
+    p.add(1, psvOf({Event::StL1}), 10.0);
+    p.add(1, psvOf({Event::StL1}), 5.0);
+    p.add(2, Psv{}, 1.0);
+    EXPECT_DOUBLE_EQ(p.total(), 16.0);
+    EXPECT_DOUBLE_EQ(p.cycles(1, psvOf({Event::StL1}).bits()), 15.0);
+    EXPECT_DOUBLE_EQ(p.unitCycles(1), 15.0);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Pics, ZeroOrNegativeAddIgnored)
+{
+    Pics p;
+    p.add(1, Psv{}, 0.0);
+    p.add(1, Psv{}, -1.0);
+    EXPECT_EQ(p.size(), 0u);
+    EXPECT_DOUBLE_EQ(p.total(), 0.0);
+}
+
+TEST(Pics, TopUnitsRankedByCycles)
+{
+    Pics p;
+    p.add(1, Psv{}, 5.0);
+    p.add(2, Psv{}, 50.0);
+    p.add(3, Psv{}, 20.0);
+    auto top = p.topUnits(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 2u);
+    EXPECT_EQ(top[1], 3u);
+}
+
+TEST(Pics, MaskedMergesComponents)
+{
+    Pics p;
+    p.add(1, psvOf({Event::StL1, Event::DrSq}), 10.0);
+    p.add(1, psvOf({Event::StL1}), 10.0);
+    // Masking away DR-SQ merges both into (1, ST-L1).
+    Pics m = p.masked(eventMask({Event::StL1}));
+    EXPECT_DOUBLE_EQ(m.total(), 20.0);
+    EXPECT_DOUBLE_EQ(m.cycles(1, psvOf({Event::StL1}).bits()), 20.0);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Pics, NormalizedRescales)
+{
+    Pics p;
+    p.add(1, Psv{}, 30.0);
+    p.add(2, Psv{}, 10.0);
+    Pics n = p.normalized(100.0);
+    EXPECT_DOUBLE_EQ(n.total(), 100.0);
+    EXPECT_DOUBLE_EQ(n.unitCycles(1), 75.0);
+}
+
+TEST(Pics, NormalizeEmptyStaysEmpty)
+{
+    Pics p;
+    Pics n = p.normalized(100.0);
+    EXPECT_DOUBLE_EQ(n.total(), 0.0);
+}
+
+TEST(Pics, ErrorAgainstSelfIsZero)
+{
+    Pics p;
+    p.add(1, psvOf({Event::StL1}), 10.0);
+    p.add(2, Psv{}, 30.0);
+    EXPECT_DOUBLE_EQ(p.errorAgainst(p), 0.0);
+}
+
+TEST(Pics, ErrorOfDisjointIsOne)
+{
+    Pics a;
+    a.add(1, Psv{}, 10.0);
+    Pics b;
+    b.add(2, Psv{}, 10.0);
+    EXPECT_DOUBLE_EQ(a.errorAgainst(b), 1.0);
+}
+
+TEST(Pics, ErrorHalfOverlap)
+{
+    Pics golden;
+    golden.add(1, Psv{}, 50.0);
+    golden.add(2, Psv{}, 50.0);
+    Pics mine;
+    mine.add(1, Psv{}, 100.0); // everything on unit 1
+    // Normalized to 100: min(50,100)=50 correct -> error 0.5.
+    EXPECT_DOUBLE_EQ(mine.errorAgainst(golden), 0.5);
+}
+
+TEST(Pics, ErrorCountsSignatureMisattribution)
+{
+    Pics golden;
+    golden.add(1, psvOf({Event::StL1}), 100.0);
+    Pics mine;
+    mine.add(1, psvOf({Event::StLlc}), 100.0); // right pc, wrong event
+    EXPECT_DOUBLE_EQ(mine.errorAgainst(golden), 1.0);
+}
+
+TEST(Pics, ErrorIsBounded)
+{
+    Pics golden;
+    golden.add(1, Psv{}, 70.0);
+    golden.add(2, psvOf({Event::FlMb}), 30.0);
+    Pics mine;
+    mine.add(1, Psv{}, 40.0);
+    mine.add(3, Psv{}, 60.0);
+    double e = mine.errorAgainst(golden);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+}
+
+TEST(Pics, AggregationToFunction)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("first");
+    b.nop(); // index 0
+    b.nop(); // index 1
+    b.endFunction();
+    b.beginFunction("second");
+    b.halt(); // index 2
+    b.endFunction();
+    Program prog = b.build();
+
+    Pics p;
+    p.add(0, Psv{}, 10.0);
+    p.add(1, psvOf({Event::StL1}), 5.0);
+    p.add(2, Psv{}, 7.0);
+    Pics fn = p.aggregated(prog, Granularity::Function);
+    // Function ids are functionOf()+1.
+    EXPECT_DOUBLE_EQ(fn.unitCycles(1), 15.0);
+    EXPECT_DOUBLE_EQ(fn.unitCycles(2), 7.0);
+    EXPECT_DOUBLE_EQ(fn.total(), 22.0);
+    // Signatures survive aggregation.
+    EXPECT_DOUBLE_EQ(fn.cycles(1, psvOf({Event::StL1}).bits()), 5.0);
+}
+
+TEST(Pics, AggregationToApplication)
+{
+    ProgramBuilder b("t");
+    b.nop();
+    b.halt();
+    Program prog = b.build();
+    Pics p;
+    p.add(0, Psv{}, 10.0);
+    p.add(1, psvOf({Event::FlEx}), 2.0);
+    Pics app = p.aggregated(prog, Granularity::Application);
+    EXPECT_DOUBLE_EQ(app.unitCycles(0), 12.0);
+    EXPECT_EQ(app.size(), 2u); // two signatures remain distinct
+}
+
+TEST(Pics, FunctionErrorNeverExceedsInstructionError)
+{
+    // Aggregation can only merge misattributions within a unit.
+    ProgramBuilder b("t");
+    b.beginFunction("only");
+    b.nop();
+    b.nop();
+    b.halt();
+    b.endFunction();
+    Program prog = b.build();
+
+    Pics golden;
+    golden.add(0, Psv{}, 50.0);
+    golden.add(1, Psv{}, 50.0);
+    Pics mine;
+    mine.add(0, Psv{}, 100.0);
+
+    double inst_err = mine.errorAgainst(golden);
+    double fn_err = mine.aggregated(prog, Granularity::Function)
+                        .errorAgainst(golden.aggregated(
+                            prog, Granularity::Function));
+    EXPECT_LE(fn_err, inst_err);
+    EXPECT_DOUBLE_EQ(fn_err, 0.0);
+}
+
+TEST(Granularity, Names)
+{
+    EXPECT_STREQ(granularityName(Granularity::Instruction), "instruction");
+    EXPECT_STREQ(granularityName(Granularity::Function), "function");
+}

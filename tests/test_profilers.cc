@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the golden reference and the sampling techniques: coverage,
+ * convergence, policy behaviour and overhead accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profilers/correlation.hh"
+#include "profilers/golden.hh"
+#include "profilers/overhead.hh"
+#include "profilers/sampler.hh"
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+struct Observed
+{
+    CoreRun run;
+    std::unique_ptr<GoldenReference> goldenPtr;
+    std::vector<std::unique_ptr<TechniqueSampler>> samplers;
+
+    const GoldenReference &golden() const { return *goldenPtr; }
+};
+
+Observed
+observe(Workload w, std::vector<SamplerConfig> cfgs,
+        CoreConfig core_cfg = CoreConfig{})
+{
+    Observed o{makeCore(std::move(w), core_cfg),
+               std::make_unique<GoldenReference>(), {}};
+    o.run->addSink(o.goldenPtr.get());
+    for (SamplerConfig &c : cfgs) {
+        o.samplers.push_back(std::make_unique<TechniqueSampler>(c));
+        o.run->addSink(o.samplers.back().get());
+    }
+    o.run->run();
+    return o;
+}
+
+} // namespace
+
+TEST(GoldenReference, AttributesEveryCycle)
+{
+    Observed o = observe(workloads::branchNoise(3000), {});
+    double covered = o.golden().pics().total() + o.golden().droppedCycles();
+    // 1/n compute splits accumulate tiny FP rounding.
+    EXPECT_NEAR(covered, static_cast<double>(o.run->stats().cycles), 0.1);
+    // The unattributable tail is at most a few cycles at program end.
+    EXPECT_LT(o.golden().droppedCycles(), 16.0);
+}
+
+TEST(GoldenReference, EventCountsMatchCoreStats)
+{
+    Observed o = observe(workloads::flushySqrt(300, true), {});
+    std::uint64_t flex = 0;
+    for (const auto &[pc, counts] : o.golden().eventCounts())
+        flex += counts[static_cast<unsigned>(Event::FlEx)];
+    EXPECT_EQ(flex, o.run->stats()
+                        .eventCounts[static_cast<unsigned>(Event::FlEx)]);
+}
+
+TEST(GoldenReference, StallHistogramCountsRetires)
+{
+    Observed o = observe(workloads::aluLoop(1000), {});
+    std::uint64_t n = 0;
+    for (const auto &[sig, hist] : o.golden().stallHistograms())
+        n += hist.count();
+    EXPECT_EQ(n, o.run->stats().committedUops);
+}
+
+TEST(Sampler, TeaAtPeriodOneMatchesGolden)
+{
+    SamplerConfig cfg = teaConfig(1);
+    Observed o = observe(workloads::branchNoise(2000), {cfg});
+    double err = o.samplers[0]->pics().errorAgainst(o.golden().pics());
+    // Period-1 TEA is the golden reference up to the final-cycle tail.
+    EXPECT_LT(err, 0.01);
+}
+
+TEST(Sampler, TeaErrorShrinksWithFrequency)
+{
+    Observed o = observe(workloads::byName("exchange2"),
+                         {teaConfig(1024), teaConfig(64)});
+    double coarse = o.samplers[0]->pics().errorAgainst(
+        o.golden().pics());
+    double fine = o.samplers[1]->pics().errorAgainst(o.golden().pics());
+    EXPECT_LT(fine, coarse);
+}
+
+TEST(Sampler, MaskingDropsUnsupportedEvents)
+{
+    SamplerConfig cfg = teaConfig(7);
+    cfg.eventMask = ibsEventSet().mask; // no DR-SQ, FL-EX, FL-MO
+    Observed o = observe(workloads::flushySqrt(400, true), {cfg});
+    for (const PicsComponent &c : o.samplers[0]->pics().components()) {
+        EXPECT_FALSE(Psv(c.signature).test(Event::FlEx));
+        EXPECT_FALSE(Psv(c.signature).test(Event::DrSq));
+    }
+}
+
+TEST(Sampler, TipReportsOnlyBaseComponents)
+{
+    Observed o = observe(workloads::byName("bwaves"), {tipConfig(101)});
+    for (const PicsComponent &c : o.samplers[0]->pics().components())
+        EXPECT_EQ(c.signature, 0u);
+    EXPECT_GT(o.samplers[0]->pics().total(), 0.0);
+}
+
+TEST(Sampler, SampleWeightEqualsPeriod)
+{
+    SamplerConfig cfg = teaConfig(113);
+    Observed o = observe(workloads::aluLoop(4000), {cfg});
+    const TechniqueSampler &s = *o.samplers[0];
+    // Total attributed cycles == samples x period (compute samples split
+    // across committing uops still sum to one period each).
+    EXPECT_NEAR(s.pics().total(),
+                static_cast<double>(s.samplesTaken()) * 113.0, 1e-6);
+}
+
+TEST(Sampler, DispatchTagTagsNextDispatch)
+{
+    // A flush-free ALU loop: dispatch tagging should produce samples on
+    // loop-body instructions with Base signatures.
+    Observed o = observe(workloads::aluLoop(4000), {ibsConfig(97)});
+    const TechniqueSampler &s = *o.samplers[0];
+    EXPECT_GT(s.samplesTaken(), 20u);
+    for (const PicsComponent &c : s.pics().components())
+        EXPECT_EQ(c.signature & ~ibsEventSet().mask, 0u);
+}
+
+TEST(Sampler, TaggingDropsOverlappingSamples)
+{
+    // Long stalls make tagged micro-ops live many cycles; samples firing
+    // while one is in flight are dropped (period << stall length).
+    Observed o = observe(workloads::pointerChase(2048, 2, 4096 + 64),
+                         {ibsConfig(31)});
+    EXPECT_GT(o.samplers[0]->samplesDropped(), 0u);
+}
+
+TEST(Sampler, FetchTagDiffersFromDispatchTag)
+{
+    Observed o = observe(workloads::byName("xalancbmk"),
+                         {ibsConfig(127), risConfig(127)});
+    // Different tagging stages must not produce identical profiles on a
+    // front-end-bound workload.
+    Pics ibs = o.samplers[0]->pics().masked(
+        ibsEventSet().mask & risEventSet().mask);
+    Pics ris = o.samplers[1]->pics().masked(
+        ibsEventSet().mask & risEventSet().mask);
+    EXPECT_GT(ibs.errorAgainst(ris), 0.01);
+}
+
+TEST(Sampler, NciMisattributesFlushCycles)
+{
+    // On a flush-heavy workload NCI attributes flush cycles to the
+    // next-committing instruction; TEA to the flushing instruction.
+    Observed o = observe(workloads::byName("nab"),
+                         {teaConfig(127), nciTeaConfig(127)});
+    double tea_err = o.samplers[0]->pics().errorAgainst(o.golden().pics());
+    double nci_err = o.samplers[1]->pics().errorAgainst(o.golden().pics());
+    EXPECT_LT(tea_err, 0.05);
+    EXPECT_GT(nci_err, 5.0 * tea_err);
+}
+
+TEST(Sampler, PhaseOffsetsSampleDifferentCycles)
+{
+    SamplerConfig a = teaConfig(100);
+    SamplerConfig b = teaConfig(100);
+    b.phase = 50;
+    Observed o = observe(workloads::branchNoise(3000), {a, b});
+    EXPECT_GT(o.samplers[0]->samplesTaken(), 0u);
+    EXPECT_GT(o.samplers[1]->samplesTaken(), 0u);
+}
+
+TEST(Correlation, FlushEventsCorrelatePerfectlyWhenUniform)
+{
+    Observed o = observe(workloads::byName("nab"), {});
+    auto corr = eventImpactCorrelation(o.golden());
+    auto flex = corr[static_cast<unsigned>(Event::FlEx)];
+    ASSERT_TRUE(flex.valid);
+    EXPECT_GT(flex.r, 0.9);
+}
+
+TEST(Correlation, RequiresThreeSitesAndVariance)
+{
+    Observed o = observe(workloads::aluLoop(500), {});
+    auto corr = eventImpactCorrelation(o.golden());
+    for (const auto &c : corr)
+        EXPECT_FALSE(c.valid); // no events at all
+}
+
+TEST(Overhead, StorageMatchesPaper)
+{
+    CoreConfig cfg;
+    StorageBreakdown b = teaStorage(cfg);
+    EXPECT_NEAR(b.totalBytes(), 249.0, 1.0);
+    EXPECT_NEAR(robFetchBufferStorageFraction(cfg), 0.917, 0.01);
+    EXPECT_DOUBLE_EQ(tipStorageBytes(), 57.0);
+    EXPECT_EQ(sampleBytes(), 88u);
+}
+
+TEST(Overhead, StorageScalesWithRob)
+{
+    CoreConfig small;
+    small.robEntries = 96;
+    CoreConfig big;
+    big.robEntries = 192;
+    EXPECT_LT(teaStorage(small).totalBytes(),
+              teaStorage(big).totalBytes());
+}
+
+TEST(Overhead, PerfOverheadModel)
+{
+    EXPECT_NEAR(samplingPerfOverhead(800'000), 0.011, 0.001);
+    EXPECT_GT(samplingPerfOverhead(200'000),
+              samplingPerfOverhead(800'000));
+}
+
+TEST(Overhead, PowerModelFractionTiny)
+{
+    PowerModel pm;
+    EXPECT_LT(pm.coreFraction(), 0.002); // ~0.1% of core power
+}

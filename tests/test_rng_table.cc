@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the table/bar renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+
+using namespace tea;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroBound)
+{
+    Rng r(7);
+    EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = r.gaussian(10.0, 2.0);
+        sum += g;
+        sq += g * g;
+    }
+    double m = sum / n;
+    double var = sq / n - m * m;
+    EXPECT_NEAR(m, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| long-name"), std::string::npos);
+    // All lines have the same width.
+    std::size_t first_nl = out.find('\n');
+    std::size_t width = first_nl;
+    for (std::size_t pos = 0; pos < out.size();) {
+        std::size_t nl = out.find('\n', pos);
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, PadsRaggedRows)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| x"), std::string::npos);
+}
+
+TEST(TableFormat, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.556), "55.6%");
+    EXPECT_EQ(fmtPercent(0.0211, 2), "2.11%");
+}
+
+TEST(TableFormat, CountSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(TableFormat, Bar)
+{
+    EXPECT_EQ(bar(5.0, 10.0, 10), "#####");
+    EXPECT_EQ(bar(20.0, 10.0, 10).size(), 10u); // clamped
+    EXPECT_EQ(bar(0.0, 10.0, 10), "");
+}
+
+TEST(TableFormat, StackedBarCoversWidth)
+{
+    std::string s = stackedBar({5.0, 5.0}, 10.0, 20);
+    EXPECT_EQ(s.size(), 20u);
+    EXPECT_EQ(s.substr(0, 10), std::string(10, '#'));
+    EXPECT_EQ(s.substr(10), std::string(10, '='));
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Robustness / failure-injection tests: API misuse must fail loudly
+ * (fatal for user errors, panic for internal invariants), never
+ * silently corrupt results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+#include "core/cache.hh"
+#include "isa/builder.hh"
+#include "isa/memory.hh"
+#include "profilers/sampler.hh"
+#include "test_util.hh"
+#include "workloads/workload.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+using RobustnessDeath = ::testing::Test;
+
+TEST(RobustnessDeath, UnboundLabelIsFatal)
+{
+    ProgramBuilder b("t");
+    Label never = b.label();
+    b.jmp(never);
+    b.halt();
+    EXPECT_DEATH(b.build(), "unbound label");
+}
+
+TEST(RobustnessDeath, DoubleBindIsFatal)
+{
+    ProgramBuilder b("t");
+    Label l = b.here();
+    EXPECT_DEATH(b.bind(l), "bound twice");
+}
+
+TEST(RobustnessDeath, DoubleBuildIsFatal)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.build();
+    EXPECT_DEATH(b.build(), "build");
+}
+
+TEST(RobustnessDeath, NestedFunctionsAreFatal)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("outer");
+    EXPECT_DEATH(b.beginFunction("inner"), "nested");
+}
+
+TEST(RobustnessDeath, UnterminatedFunctionIsFatal)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("open");
+    b.halt();
+    EXPECT_DEATH(b.build(), "unterminated");
+}
+
+TEST(RobustnessDeath, UnalignedMemoryAccessIsFatal)
+{
+    SparseMemory m;
+    EXPECT_DEATH(m.read(0x1003), "unaligned");
+    EXPECT_DEATH(m.write(0x1005, 1), "unaligned");
+}
+
+TEST(RobustnessDeath, NonPowerOfTwoCacheSetsAreFatal)
+{
+    CacheConfig cfg{3 * 1024, 4, 4, 2}; // 12 sets: not a power of two
+    EXPECT_DEATH(CacheArray(cfg, "bad"), "power of two");
+}
+
+TEST(RobustnessDeath, ZeroSamplingPeriodIsFatal)
+{
+    EXPECT_DEATH(TechniqueSampler{teaConfig(0)}, "period");
+}
+
+TEST(RobustnessDeath, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(workloads::byName("specfp2000"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(RobustnessDeath, TableDoubleHeaderIsFatal)
+{
+    Table t;
+    t.header({"a"});
+    EXPECT_DEATH(t.header({"b"}), "header");
+}
+
+TEST(RobustnessDeath, ProgramIndexOutOfRangeIsFatal)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.build();
+    EXPECT_DEATH(p.inst(5), "out of range");
+}
+
+TEST(Robustness, SimulationWithoutSinksWorks)
+{
+    CoreRun run = runCore(workloads::aluLoop(100));
+    EXPECT_TRUE(run->halted());
+}
+
+TEST(Robustness, ManySinksDoNotPerturbTiming)
+{
+    Workload w1 = workloads::branchNoise(1500);
+    Workload w2 = workloads::branchNoise(1500);
+    CoreRun bare = runCore(std::move(w1));
+
+    CoreRun loaded = makeCore(std::move(w2));
+    std::vector<std::unique_ptr<TechniqueSampler>> samplers;
+    for (int i = 0; i < 20; ++i) {
+        samplers.push_back(std::make_unique<TechniqueSampler>(
+            teaConfig(100 + static_cast<Cycle>(i))));
+        loaded->addSink(samplers.back().get());
+    }
+    loaded->run();
+    EXPECT_EQ(loaded->stats().cycles, bare->stats().cycles);
+}
+
+TEST(Robustness, RunBoundedByMaxCyclesAsserts)
+{
+    // An infinite loop must hit the max-cycle backstop (panic), not
+    // hang.
+    ProgramBuilder b("t");
+    Label top = b.here();
+    b.jmp(top);
+    b.halt(); // unreachable
+    Workload w{b.build(), ArchState{}, "infinite"};
+    CoreRun run = makeCore(std::move(w));
+    EXPECT_DEATH(run->run(10000), "did not halt");
+}
+
+TEST(Robustness, ZeroIterationWorkloadsTerminate)
+{
+    CoreRun run = runCore(workloads::aluLoop(1));
+    EXPECT_TRUE(run->halted());
+    EXPECT_GT(run->stats().committedUops, 0u);
+}

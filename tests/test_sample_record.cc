@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the 88-byte sample records, the sample buffer / file
+ * round trip, and PICS reconstruction from recorded samples.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "profilers/sample_record.hh"
+#include "profilers/sampler.hh"
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+/** Temp-file path helper (removed on destruction). */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const char *name)
+        : path(std::string("/tmp/tea_test_") + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+} // namespace
+
+TEST(SampleRecord, PaperSize)
+{
+    EXPECT_EQ(sizeof(SampleRecord), 88u);
+}
+
+TEST(SampleRecord, FlagsPackStateAndCount)
+{
+    std::uint16_t f = SampleRecord::makeFlags(CommitState::Flushed, 3);
+    SampleRecord rec;
+    rec.flags = f;
+    EXPECT_EQ(rec.state(), CommitState::Flushed);
+    EXPECT_EQ(rec.count(), 3u);
+}
+
+TEST(SampleBuffer, FileRoundTrip)
+{
+    TempFile tmp("roundtrip.bin");
+    SampleBuffer buf;
+    for (unsigned i = 0; i < 100; ++i) {
+        SampleRecord rec;
+        rec.timestamp = i * 1000;
+        rec.coreId = static_cast<std::uint16_t>(i % 4);
+        rec.pid = 77;
+        rec.tid = 78;
+        rec.flags = SampleRecord::makeFlags(CommitState::Compute, 2);
+        rec.addrs[0] = i;
+        rec.addrs[1] = i + 1;
+        rec.psvs[0] = 0x41;
+        rec.psvs[1] = 0;
+        buf.onSample(rec);
+    }
+    EXPECT_EQ(buf.bytes(), 100u * 88u);
+    buf.writeFile(tmp.path);
+
+    auto loaded = SampleBuffer::readFile(tmp.path);
+    ASSERT_EQ(loaded.size(), 100u);
+    EXPECT_EQ(loaded[7].timestamp, 7000u);
+    EXPECT_EQ(loaded[7].coreId, 3u);
+    EXPECT_EQ(loaded[7].count(), 2u);
+    EXPECT_EQ(loaded[7].addrs[1], 8u);
+    EXPECT_EQ(loaded[7].psvs[0], 0x41u);
+}
+
+TEST(SampleBuffer, EmptyFileRoundTrip)
+{
+    TempFile tmp("empty.bin");
+    SampleBuffer buf;
+    buf.writeFile(tmp.path);
+    EXPECT_TRUE(SampleBuffer::readFile(tmp.path).empty());
+}
+
+TEST(PicsFromRecords, SplitsComputeSamplesEvenly)
+{
+    SampleRecord rec;
+    rec.flags = SampleRecord::makeFlags(CommitState::Compute, 2);
+    rec.addrs = {10, 11, 0, 0};
+    rec.psvs = {0, 0, 0, 0};
+    Pics pics = picsFromRecords({rec}, 100);
+    EXPECT_DOUBLE_EQ(pics.unitCycles(10), 50.0);
+    EXPECT_DOUBLE_EQ(pics.unitCycles(11), 50.0);
+}
+
+TEST(PicsFromRecords, FiltersByCore)
+{
+    SampleRecord a;
+    a.coreId = 0;
+    a.flags = SampleRecord::makeFlags(CommitState::Stalled, 1);
+    a.addrs[0] = 5;
+    SampleRecord b = a;
+    b.coreId = 1;
+    b.addrs[0] = 6;
+    std::vector<SampleRecord> recs{a, b};
+    Pics only0 = picsFromRecords(recs, 10, 0x1ff, 0);
+    EXPECT_DOUBLE_EQ(only0.unitCycles(5), 10.0);
+    EXPECT_DOUBLE_EQ(only0.unitCycles(6), 0.0);
+    Pics all = picsFromRecords(recs, 10, 0x1ff, -1);
+    EXPECT_DOUBLE_EQ(all.total(), 20.0);
+}
+
+TEST(PicsFromRecords, AppliesEventMask)
+{
+    SampleRecord rec;
+    rec.flags = SampleRecord::makeFlags(CommitState::Stalled, 1);
+    rec.addrs[0] = 1;
+    Psv sig;
+    sig.set(Event::DrSq);
+    sig.set(Event::StL1);
+    rec.psvs[0] = sig.bits();
+    Pics pics = picsFromRecords({rec}, 10, ibsEventSet().mask);
+    Psv expect;
+    expect.set(Event::StL1);
+    EXPECT_DOUBLE_EQ(pics.cycles(1, expect.bits()), 10.0);
+}
+
+TEST(RecorderPipeline, FileMatchesLiveSamplerExactly)
+{
+    // Record TEA samples to a file during simulation, rebuild PICS from
+    // the file, and verify they are bit-identical to the live sampler's.
+    TempFile tmp("pipeline.bin");
+    Workload w = workloads::byName("mcf");
+    CoreRun run = makeCore(std::move(w));
+    TechniqueSampler tea{teaConfig(113)};
+    SampleBuffer buffer;
+    tea.setRecorder(&buffer, 0, 1, 1);
+    run->addSink(&tea);
+    run->run();
+    buffer.writeFile(tmp.path);
+
+    auto records = SampleBuffer::readFile(tmp.path);
+    EXPECT_EQ(records.size(), tea.samplesTaken());
+    Pics rebuilt = picsFromRecords(records, 113);
+    EXPECT_NEAR(rebuilt.total(), tea.pics().total(), 1e-6);
+    EXPECT_NEAR(rebuilt.errorAgainst(tea.pics()), 0.0, 1e-9);
+}
+
+TEST(RecorderPipeline, TaggingTechniquesRecordToo)
+{
+    Workload w = workloads::byName("exchange2");
+    CoreRun run = makeCore(std::move(w));
+    TechniqueSampler ibs{ibsConfig(127)};
+    SampleBuffer buffer;
+    ibs.setRecorder(&buffer, 0, 1, 1);
+    run->addSink(&ibs);
+    run->run();
+    EXPECT_EQ(buffer.size(), ibs.samplesTaken());
+    Pics rebuilt = picsFromRecords(buffer.records(), 127);
+    EXPECT_NEAR(rebuilt.errorAgainst(ibs.pics()), 0.0, 1e-9);
+}
+
+TEST(InterruptInjection, OverheadScalesWithFrequency)
+{
+    auto cycles_at = [](Cycle period) {
+        CoreConfig cfg;
+        cfg.samplingInterruptPeriod = period;
+        cfg.samplingHandlerCycles = 110;
+        return runCore(workloads::aluLoop(20000), cfg)->stats().cycles;
+    };
+    Cycle base = cycles_at(0);
+    Cycle slow = cycles_at(2000);
+    Cycle slower = cycles_at(500);
+    EXPECT_GT(slow, base);
+    EXPECT_GT(slower, slow);
+    // Measured overhead is close to handler/period for a front-end-bound
+    // loop.
+    double measured = static_cast<double>(slower) /
+                          static_cast<double>(base) -
+                      1.0;
+    EXPECT_NEAR(measured, 110.0 / 500.0, 0.08);
+}
+
+TEST(InterruptInjection, CountsInterrupts)
+{
+    CoreConfig cfg;
+    cfg.samplingInterruptPeriod = 1000;
+    CoreRun run = runCore(workloads::aluLoop(20000), cfg);
+    EXPECT_NEAR(static_cast<double>(run->stats().samplingInterrupts),
+                static_cast<double>(run->stats().cycles) / 1000.0, 2.0);
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace tea;
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, StddevNeedsTwoPoints)
+{
+    EXPECT_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PearsonPerfectPositive)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative)
+{
+    std::vector<double> xs{1, 2, 3, 4};
+    std::vector<double> ys{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero)
+{
+    std::vector<double> xs{3, 3, 3};
+    std::vector<double> ys{1, 2, 3};
+    EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonUncorrelated)
+{
+    std::vector<double> xs{1, 2, 1, 2, 1, 2, 1, 2};
+    std::vector<double> ys{1, 1, 2, 2, 1, 1, 2, 2};
+    EXPECT_NEAR(pearson(xs, ys), 0.0, 1e-12);
+}
+
+TEST(Stats, BoxplotFiveNumbers)
+{
+    BoxplotSummary s = boxplot({1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_EQ(s.min, 1.0);
+    EXPECT_EQ(s.median, 5.0);
+    EXPECT_EQ(s.max, 9.0);
+    EXPECT_EQ(s.q1, 3.0);
+    EXPECT_EQ(s.q3, 7.0);
+    EXPECT_EQ(s.n, 9u);
+}
+
+TEST(Stats, BoxplotEmpty)
+{
+    BoxplotSummary s = boxplot({});
+    EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Stats, HistogramQuantile)
+{
+    Histogram h(100);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.quantile(0.5), 50u);
+    EXPECT_EQ(h.quantile(0.99), 99u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Stats, HistogramOverflowBin)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(500); // overflow
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.quantile(1.0), 11u); // max_value + 1 marks overflow
+}
+
+TEST(Stats, HistogramWeightedMean)
+{
+    Histogram h(16);
+    h.add(2, 3); // three 2s
+    h.add(8, 1);
+    EXPECT_NEAR(h.mean(), (3 * 2 + 8) / 4.0, 1e-12);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for trace serialization/replay: replayed traces must drive
+ * observers to byte-identical results as the live simulation.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "core/trace_io.hh"
+#include "profilers/golden.hh"
+#include "profilers/sampler.hh"
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const char *name)
+        : path(std::string("/tmp/tea_trace_test_") + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::vector<SamplerConfig>
+allPolicies()
+{
+    return {ibsConfig(127), speConfig(127), risConfig(127),
+            nciTeaConfig(127), teaConfig(127), tipConfig(127),
+            dtagTeaConfig(127)};
+}
+
+} // namespace
+
+TEST(TraceIo, ReplayReproducesGoldenExactly)
+{
+    TempFile tmp("golden.bin");
+    Workload w = workloads::byName("mcf");
+    GoldenReference live;
+    {
+        CoreRun run = makeCore(std::move(w));
+        TraceWriter writer(tmp.path);
+        run->addSink(&live);
+        run->addSink(&writer);
+        run->run();
+        EXPECT_GT(writer.eventsWritten(), 1000u);
+    }
+
+    GoldenReference replayed;
+    Cycle cycles = replayTrace(tmp.path, {&replayed});
+    EXPECT_GT(cycles, 0u);
+    EXPECT_DOUBLE_EQ(replayed.pics().total(), live.pics().total());
+    EXPECT_NEAR(replayed.pics().errorAgainst(live.pics()), 0.0, 1e-9);
+    EXPECT_EQ(replayed.eventCounts().size(), live.eventCounts().size());
+}
+
+TEST(TraceIo, ReplayReproducesEverySamplingPolicy)
+{
+    TempFile tmp("samplers.bin");
+    Workload w = workloads::byName("exchange2");
+
+    std::vector<std::unique_ptr<TechniqueSampler>> live;
+    for (SamplerConfig c : allPolicies())
+        live.push_back(std::make_unique<TechniqueSampler>(c));
+
+    {
+        CoreRun run = makeCore(std::move(w));
+        TraceWriter writer(tmp.path);
+        for (auto &s : live)
+            run->addSink(s.get());
+        run->addSink(&writer);
+        run->run();
+    }
+
+    std::vector<std::unique_ptr<TechniqueSampler>> offline;
+    std::vector<TraceSink *> sinks;
+    for (SamplerConfig c : allPolicies()) {
+        offline.push_back(std::make_unique<TechniqueSampler>(c));
+        sinks.push_back(offline.back().get());
+    }
+    replayTrace(tmp.path, sinks);
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        SCOPED_TRACE(live[i]->config().name);
+        EXPECT_EQ(offline[i]->samplesTaken(), live[i]->samplesTaken());
+        EXPECT_EQ(offline[i]->samplesDropped(),
+                  live[i]->samplesDropped());
+        EXPECT_DOUBLE_EQ(offline[i]->pics().total(),
+                         live[i]->pics().total());
+        EXPECT_NEAR(offline[i]->pics().errorAgainst(live[i]->pics()),
+                    0.0, 1e-9);
+    }
+}
+
+TEST(TraceIo, CyclesReturnedMatchesSimulation)
+{
+    TempFile tmp("count.bin");
+    Workload w = workloads::aluLoop(2000);
+    Cycle sim_cycles = 0;
+    {
+        CoreRun run = makeCore(std::move(w));
+        TraceWriter writer(tmp.path);
+        run->addSink(&writer);
+        run->run();
+        sim_cycles = run->stats().cycles;
+    }
+    Cycle replayed = replayTrace(tmp.path, {});
+    EXPECT_EQ(replayed, sim_cycles);
+}
+
+TEST(TraceIo, CorruptFileIsFatal)
+{
+    TempFile tmp("corrupt.bin");
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::uint8_t junk = 'Z';
+    std::fwrite(&junk, 1, 1, f);
+    std::fclose(f);
+    EXPECT_EXIT(replayTrace(tmp.path, {}),
+                ::testing::ExitedWithCode(1), "bad tag");
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(replayTrace("/nonexistent/tea.bin", {}),
+                ::testing::ExitedWithCode(1), "cannot open");
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef TEA_TESTS_TEST_UTIL_HH
+#define TEA_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <utility>
+
+#include "core/core.hh"
+#include "isa/executor.hh"
+#include "workloads/workload.hh"
+
+namespace tea::test {
+
+/**
+ * A completed (or ready-to-run) simulation bundling the objects the core
+ * references so they share a lifetime.
+ */
+struct CoreRun
+{
+    std::unique_ptr<CoreConfig> cfg;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<Core> core;
+
+    Core &operator*() { return *core; }
+    Core *operator->() { return core.get(); }
+};
+
+/** Build a core for @p w without running it. */
+inline CoreRun
+makeCore(Workload w, CoreConfig cfg = CoreConfig{})
+{
+    CoreRun r;
+    r.cfg = std::make_unique<CoreConfig>(cfg);
+    r.workload = std::make_unique<Workload>(std::move(w));
+    r.core = std::make_unique<Core>(*r.cfg, r.workload->program,
+                                    std::move(r.workload->initial));
+    return r;
+}
+
+/** Run @p w to completion and return the simulation. */
+inline CoreRun
+runCore(Workload w, CoreConfig cfg = CoreConfig{},
+        Cycle max_cycles = 500'000'000)
+{
+    CoreRun r = makeCore(std::move(w), cfg);
+    r.core->run(max_cycles);
+    return r;
+}
+
+/**
+ * Pure functional execution of @p prog from @p st until Halt; returns
+ * the final architectural state (the oracle the timing model's state
+ * must match).
+ */
+inline ArchState
+runFunctional(const Program &prog, ArchState st,
+              std::uint64_t max_insts = 1'000'000'000)
+{
+    InstIndex pc = prog.entry();
+    for (std::uint64_t n = 0; n < max_insts; ++n) {
+        ExecResult r = execute(prog, pc, st);
+        if (r.halted)
+            return st;
+        pc = r.nextPc;
+    }
+    return st;
+}
+
+} // namespace tea::test
+
+#endif // TEA_TESTS_TEST_UTIL_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the SPEC-like suite: every benchmark terminates, produces
+ * the microarchitectural behaviour its SPEC counterpart is known for
+ * (per the paper), and is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+std::uint64_t
+ev(const CoreStats &s, Event e)
+{
+    return s.eventCounts[static_cast<unsigned>(e)];
+}
+
+double
+stateFrac(const CoreStats &s, CommitState st)
+{
+    return static_cast<double>(s.stateCycles[static_cast<unsigned>(st)]) /
+           static_cast<double>(s.cycles);
+}
+
+} // namespace
+
+class SuiteBenchmark : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteBenchmark, RunsToCompletion)
+{
+    CoreRun run = runCore(workloads::byName(GetParam()), CoreConfig{},
+                          50'000'000);
+    EXPECT_TRUE(run->halted());
+    EXPECT_GT(run->stats().committedUops, 100'000u);
+    EXPECT_GT(run->stats().cycles, 100'000u);
+}
+
+TEST_P(SuiteBenchmark, HasFunctionSymbols)
+{
+    Workload w = workloads::byName(GetParam());
+    EXPECT_FALSE(w.program.functions().empty());
+    EXPECT_FALSE(w.description.empty());
+    // Every instruction is covered by a symbol.
+    for (InstIndex i = 0; i < w.program.size(); ++i)
+        EXPECT_GE(w.program.functionOf(i), 0) << "instruction " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SuiteBenchmark,
+    ::testing::ValuesIn(workloads::suiteNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Workloads, LbmIsStallBoundWithLlcMisses)
+{
+    CoreRun run = runCore(workloads::lbm());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Stalled), 0.5);
+    EXPECT_GT(ev(s, Event::StLlc), 40000u);
+}
+
+TEST(Workloads, NabIsFlushHeavy)
+{
+    CoreRun run = runCore(workloads::nab());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Flushed), 0.2);
+    EXPECT_GT(ev(s, Event::FlEx), 60000u);
+}
+
+TEST(Workloads, NabVariantSpeedupOrdering)
+{
+    workloads::NabParams p;
+    p.iterations = 5000;
+    p.variant = workloads::NabVariant::Ieee;
+    CoreRun ieee = runCore(workloads::nab(p));
+    p.variant = workloads::NabVariant::Finite;
+    CoreRun finite = runCore(workloads::nab(p));
+    p.variant = workloads::NabVariant::Fast;
+    CoreRun fast = runCore(workloads::nab(p));
+    EXPECT_GT(ieee->stats().cycles, finite->stats().cycles);
+    EXPECT_GT(finite->stats().cycles, fast->stats().cycles);
+    // Paper: 1.96x and 2.45x; require the right regime.
+    double sp_finite = static_cast<double>(ieee->stats().cycles) /
+                       static_cast<double>(finite->stats().cycles);
+    double sp_fast = static_cast<double>(ieee->stats().cycles) /
+                     static_cast<double>(fast->stats().cycles);
+    EXPECT_GT(sp_finite, 1.4);
+    EXPECT_LT(sp_finite, 2.5);
+    EXPECT_GT(sp_fast, 1.9);
+    EXPECT_LT(sp_fast, 3.0);
+}
+
+TEST(Workloads, BwavesHasCombinedCacheTlbEvents)
+{
+    CoreRun run = runCore(workloads::bwaves());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(ev(s, Event::StTlb), 20000u);
+    EXPECT_GT(ev(s, Event::StLlc), 10000u);
+    EXPECT_GT(s.uopsWithCombined, 10000u);
+}
+
+TEST(Workloads, OmnetppIsLatencyBound)
+{
+    CoreRun run = runCore(workloads::omnetpp());
+    EXPECT_GT(stateFrac(run->stats(), CommitState::Stalled), 0.7);
+}
+
+TEST(Workloads, Fotonik3dHasMostlySolitaryMisses)
+{
+    CoreRun run = runCore(workloads::fotonik3d());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(ev(s, Event::StL1), 100000u);
+    // Solitary: far fewer combined-event uops than event uops.
+    EXPECT_LT(s.uopsWithCombined, s.uopsWithEvents / 2);
+}
+
+TEST(Workloads, Exchange2IsComputeBoundAndBranchy)
+{
+    CoreRun run = runCore(workloads::exchange2());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(s.branchMispredicts, 30000u);
+    EXPECT_GT(stateFrac(s, CommitState::Compute), 0.3);
+    EXPECT_LT(ev(s, Event::StLlc), s.committedUops / 100);
+}
+
+TEST(Workloads, McfProducesOrderingViolations)
+{
+    CoreRun run = runCore(workloads::mcf());
+    EXPECT_GT(run->stats().moViolations, 4u);
+    EXPECT_EQ(run->stats().moViolations,
+              ev(run->stats(), Event::FlMo));
+}
+
+TEST(Workloads, XalancbmkIsFrontEndBound)
+{
+    CoreRun run = runCore(workloads::xalancbmk());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Drained), 0.4);
+    EXPECT_GT(ev(s, Event::DrL1), 50000u);
+}
+
+TEST(Workloads, GccThrashesItlbToo)
+{
+    CoreRun run = runCore(workloads::gcc());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(ev(s, Event::DrL1), 100000u);
+    EXPECT_GT(ev(s, Event::DrTlb), 1000u);
+}
+
+TEST(Workloads, CactuBssnHasStoreQueuePressure)
+{
+    CoreRun run = runCore(workloads::cactuBSSN());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(ev(s, Event::DrSq), 1000u);
+    EXPECT_GT(s.drSqStallCycles, 10000u);
+}
+
+TEST(Workloads, XzMixesEventClasses)
+{
+    CoreRun run = runCore(workloads::xz());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(s.branchMispredicts, 2000u);
+    EXPECT_GT(ev(s, Event::StLlc), 2000u);
+    EXPECT_GT(ev(s, Event::FlMo), 0u);
+}
+
+TEST(Workloads, LbmPrefetchSweepShape)
+{
+    // Speedup must grow with distance and saturate (paper Fig 11).
+    workloads::LbmParams p;
+    p.cells = 6144;
+    p.sweeps = 1;
+    Cycle prev = 0;
+    for (unsigned d : {0u, 2u, 4u}) {
+        p.prefetchDistance = d;
+        CoreRun run = runCore(workloads::lbm(p));
+        if (prev != 0)
+            EXPECT_LT(run->stats().cycles, prev) << "distance " << d;
+        prev = run->stats().cycles;
+    }
+}
+
+TEST(Workloads, ByNameRoundTrips)
+{
+    for (const std::string &name : workloads::suiteNames()) {
+        Workload w = workloads::byName(name);
+        EXPECT_EQ(w.program.name().substr(0, 3), name.substr(0, 3));
+    }
+}

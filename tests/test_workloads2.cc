@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Behavioural tests for the second batch of suite benchmarks
+ * (deepsjeng, roms, cam4, perlbench) mirroring test_workloads.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+std::uint64_t
+ev(const CoreStats &s, Event e)
+{
+    return s.eventCounts[static_cast<unsigned>(e)];
+}
+
+double
+stateFrac(const CoreStats &s, CommitState st)
+{
+    return static_cast<double>(s.stateCycles[static_cast<unsigned>(st)]) /
+           static_cast<double>(s.cycles);
+}
+
+} // namespace
+
+TEST(Workloads2, DeepsjengMixesBranchAndMemory)
+{
+    CoreRun run = runCore(workloads::deepsjeng());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(s.branchMispredicts, 10000u);
+    EXPECT_GT(ev(s, Event::StLlc), 10000u);
+    EXPECT_GT(ev(s, Event::FlMb), 10000u);
+}
+
+TEST(Workloads2, RomsIsBandwidthBoundWithHiddenMisses)
+{
+    CoreRun run = runCore(workloads::roms());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Stalled), 0.6);
+    EXPECT_GT(ev(s, Event::StLlc), 40000u);
+    // Four independent streams: the machine keeps many misses in
+    // flight, so DRAM traffic per cycle is high.
+    double lines_per_kcycle =
+        1000.0 *
+        static_cast<double>(run->memory().dramLineTransfers()) /
+        static_cast<double>(s.cycles);
+    EXPECT_GT(lines_per_kcycle, 50.0);
+}
+
+TEST(Workloads2, Cam4IsDivideBound)
+{
+    CoreRun run = runCore(workloads::cam4());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Stalled), 0.5);
+    // Few memory events relative to its runtime: the stall is the
+    // unpipelined divider, not the memory system.
+    EXPECT_LT(ev(s, Event::StLlc), s.committedUops / 20);
+    EXPECT_LT(s.branchMispredicts, 1000u);
+}
+
+TEST(Workloads2, PerlbenchIsSpeculationBound)
+{
+    CoreRun run = runCore(workloads::perlbench());
+    const CoreStats &s = run->stats();
+    EXPECT_GT(stateFrac(s, CommitState::Flushed), 0.25);
+    EXPECT_GT(s.branchMispredicts, 20000u);
+    // Operand-stack traffic almost always forwards; at most a handful
+    // of ordering violations before the store sets learn the pattern.
+    EXPECT_LT(s.moViolations, 10u);
+}
+
+TEST(Workloads2, SuiteHasFifteenBenchmarks)
+{
+    EXPECT_EQ(workloads::suiteNames().size(), 15u);
+}
+
+class SecondBatch : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SecondBatch, FunctionalCorrectness)
+{
+    Workload w = workloads::byName(GetParam());
+    ArchState oracle = runFunctional(w.program, w.initial);
+    CoreRun run = runCore(std::move(w));
+    for (unsigned r = 0; r < numArchRegs; ++r)
+        EXPECT_EQ(run->archState().regs[r], oracle.regs[r])
+            << "reg " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SecondBatch,
+    ::testing::Values("deepsjeng", "roms", "cam4", "perlbench"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
