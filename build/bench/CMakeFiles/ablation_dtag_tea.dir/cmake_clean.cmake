@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dtag_tea.dir/ablation_dtag_tea.cpp.o"
+  "CMakeFiles/ablation_dtag_tea.dir/ablation_dtag_tea.cpp.o.d"
+  "ablation_dtag_tea"
+  "ablation_dtag_tea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dtag_tea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

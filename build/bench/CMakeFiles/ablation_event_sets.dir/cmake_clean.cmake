@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_event_sets.dir/ablation_event_sets.cpp.o"
+  "CMakeFiles/ablation_event_sets.dir/ablation_event_sets.cpp.o.d"
+  "ablation_event_sets"
+  "ablation_event_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_event_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claims_stats.dir/claims_stats.cpp.o"
+  "CMakeFiles/claims_stats.dir/claims_stats.cpp.o.d"
+  "claims_stats"
+  "claims_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claims_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lbm.dir/fig10_lbm.cpp.o"
+  "CMakeFiles/fig10_lbm.dir/fig10_lbm.cpp.o.d"
+  "fig10_lbm"
+  "fig10_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

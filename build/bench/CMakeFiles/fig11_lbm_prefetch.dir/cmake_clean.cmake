@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lbm_prefetch.dir/fig11_lbm_prefetch.cpp.o"
+  "CMakeFiles/fig11_lbm_prefetch.dir/fig11_lbm_prefetch.cpp.o.d"
+  "fig11_lbm_prefetch"
+  "fig11_lbm_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lbm_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

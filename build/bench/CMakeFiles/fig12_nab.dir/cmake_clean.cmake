@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nab.dir/fig12_nab.cpp.o"
+  "CMakeFiles/fig12_nab.dir/fig12_nab.cpp.o.d"
+  "fig12_nab"
+  "fig12_nab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_event_hierarchy.dir/fig3_event_hierarchy.cpp.o"
+  "CMakeFiles/fig3_event_hierarchy.dir/fig3_event_hierarchy.cpp.o.d"
+  "fig3_event_hierarchy"
+  "fig3_event_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_event_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_top3_pics.dir/fig6_top3_pics.cpp.o"
+  "CMakeFiles/fig6_top3_pics.dir/fig6_top3_pics.cpp.o.d"
+  "fig6_top3_pics"
+  "fig6_top3_pics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_top3_pics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_frequency.dir/fig8_frequency.cpp.o"
+  "CMakeFiles/fig8_frequency.dir/fig8_frequency.cpp.o.d"
+  "fig8_frequency"
+  "fig8_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_granularity.dir/fig9_granularity.cpp.o"
+  "CMakeFiles/fig9_granularity.dir/fig9_granularity.cpp.o.d"
+  "fig9_granularity"
+  "fig9_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

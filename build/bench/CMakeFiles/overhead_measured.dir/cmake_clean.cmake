@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_measured.dir/overhead_measured.cpp.o"
+  "CMakeFiles/overhead_measured.dir/overhead_measured.cpp.o.d"
+  "overhead_measured"
+  "overhead_measured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_cpi_stacks.dir/related_cpi_stacks.cpp.o"
+  "CMakeFiles/related_cpi_stacks.dir/related_cpi_stacks.cpp.o.d"
+  "related_cpi_stacks"
+  "related_cpi_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_cpi_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

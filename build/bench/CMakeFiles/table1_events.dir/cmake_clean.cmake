@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_events.dir/table1_events.cpp.o"
+  "CMakeFiles/table1_events.dir/table1_events.cpp.o.d"
+  "table1_events"
+  "table1_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

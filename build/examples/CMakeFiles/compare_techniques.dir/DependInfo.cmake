@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compare_techniques.cpp" "examples/CMakeFiles/compare_techniques.dir/compare_techniques.cpp.o" "gcc" "examples/CMakeFiles/compare_techniques.dir/compare_techniques.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tea_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/profilers/CMakeFiles/tea_profilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tea_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/tea_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tea_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

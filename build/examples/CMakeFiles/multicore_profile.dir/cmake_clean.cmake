@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_profile.dir/multicore_profile.cpp.o"
+  "CMakeFiles/multicore_profile.dir/multicore_profile.cpp.o.d"
+  "multicore_profile"
+  "multicore_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pics_diff.dir/pics_diff.cpp.o"
+  "CMakeFiles/pics_diff.dir/pics_diff.cpp.o.d"
+  "pics_diff"
+  "pics_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pics_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pics_tool.dir/pics_tool.cpp.o"
+  "CMakeFiles/pics_tool.dir/pics_tool.cpp.o.d"
+  "pics_tool"
+  "pics_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pics_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_analysis.dir/cpi_stack.cc.o"
+  "CMakeFiles/tea_analysis.dir/cpi_stack.cc.o.d"
+  "CMakeFiles/tea_analysis.dir/report.cc.o"
+  "CMakeFiles/tea_analysis.dir/report.cc.o.d"
+  "CMakeFiles/tea_analysis.dir/runner.cc.o"
+  "CMakeFiles/tea_analysis.dir/runner.cc.o.d"
+  "libtea_analysis.a"
+  "libtea_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_common.dir/logging.cc.o"
+  "CMakeFiles/tea_common.dir/logging.cc.o.d"
+  "CMakeFiles/tea_common.dir/rng.cc.o"
+  "CMakeFiles/tea_common.dir/rng.cc.o.d"
+  "CMakeFiles/tea_common.dir/stats.cc.o"
+  "CMakeFiles/tea_common.dir/stats.cc.o.d"
+  "CMakeFiles/tea_common.dir/table.cc.o"
+  "CMakeFiles/tea_common.dir/table.cc.o.d"
+  "libtea_common.a"
+  "libtea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

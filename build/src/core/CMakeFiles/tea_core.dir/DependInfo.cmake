@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_predictor.cc" "src/core/CMakeFiles/tea_core.dir/branch_predictor.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/core/cache.cc" "src/core/CMakeFiles/tea_core.dir/cache.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/cache.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/tea_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/config.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/tea_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/core.cc.o.d"
+  "/root/repo/src/core/memory_system.cc" "src/core/CMakeFiles/tea_core.dir/memory_system.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/memory_system.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/tea_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/system.cc.o.d"
+  "/root/repo/src/core/tlb.cc" "src/core/CMakeFiles/tea_core.dir/tlb.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/tlb.cc.o.d"
+  "/root/repo/src/core/trace_io.cc" "src/core/CMakeFiles/tea_core.dir/trace_io.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/trace_io.cc.o.d"
+  "/root/repo/src/core/uncore.cc" "src/core/CMakeFiles/tea_core.dir/uncore.cc.o" "gcc" "src/core/CMakeFiles/tea_core.dir/uncore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/tea_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tea_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_core.dir/branch_predictor.cc.o"
+  "CMakeFiles/tea_core.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/tea_core.dir/cache.cc.o"
+  "CMakeFiles/tea_core.dir/cache.cc.o.d"
+  "CMakeFiles/tea_core.dir/config.cc.o"
+  "CMakeFiles/tea_core.dir/config.cc.o.d"
+  "CMakeFiles/tea_core.dir/core.cc.o"
+  "CMakeFiles/tea_core.dir/core.cc.o.d"
+  "CMakeFiles/tea_core.dir/memory_system.cc.o"
+  "CMakeFiles/tea_core.dir/memory_system.cc.o.d"
+  "CMakeFiles/tea_core.dir/system.cc.o"
+  "CMakeFiles/tea_core.dir/system.cc.o.d"
+  "CMakeFiles/tea_core.dir/tlb.cc.o"
+  "CMakeFiles/tea_core.dir/tlb.cc.o.d"
+  "CMakeFiles/tea_core.dir/trace_io.cc.o"
+  "CMakeFiles/tea_core.dir/trace_io.cc.o.d"
+  "CMakeFiles/tea_core.dir/uncore.cc.o"
+  "CMakeFiles/tea_core.dir/uncore.cc.o.d"
+  "libtea_core.a"
+  "libtea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

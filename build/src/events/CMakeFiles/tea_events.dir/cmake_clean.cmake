@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_events.dir/event.cc.o"
+  "CMakeFiles/tea_events.dir/event.cc.o.d"
+  "libtea_events.a"
+  "libtea_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_isa.dir/builder.cc.o"
+  "CMakeFiles/tea_isa.dir/builder.cc.o.d"
+  "CMakeFiles/tea_isa.dir/disasm.cc.o"
+  "CMakeFiles/tea_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/tea_isa.dir/executor.cc.o"
+  "CMakeFiles/tea_isa.dir/executor.cc.o.d"
+  "CMakeFiles/tea_isa.dir/memory.cc.o"
+  "CMakeFiles/tea_isa.dir/memory.cc.o.d"
+  "CMakeFiles/tea_isa.dir/opcode.cc.o"
+  "CMakeFiles/tea_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/tea_isa.dir/program.cc.o"
+  "CMakeFiles/tea_isa.dir/program.cc.o.d"
+  "libtea_isa.a"
+  "libtea_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profilers/correlation.cc" "src/profilers/CMakeFiles/tea_profilers.dir/correlation.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/correlation.cc.o.d"
+  "/root/repo/src/profilers/golden.cc" "src/profilers/CMakeFiles/tea_profilers.dir/golden.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/golden.cc.o.d"
+  "/root/repo/src/profilers/overhead.cc" "src/profilers/CMakeFiles/tea_profilers.dir/overhead.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/overhead.cc.o.d"
+  "/root/repo/src/profilers/pics.cc" "src/profilers/CMakeFiles/tea_profilers.dir/pics.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/pics.cc.o.d"
+  "/root/repo/src/profilers/sample_record.cc" "src/profilers/CMakeFiles/tea_profilers.dir/sample_record.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/sample_record.cc.o.d"
+  "/root/repo/src/profilers/sampler.cc" "src/profilers/CMakeFiles/tea_profilers.dir/sampler.cc.o" "gcc" "src/profilers/CMakeFiles/tea_profilers.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tea_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/tea_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tea_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_profilers.dir/correlation.cc.o"
+  "CMakeFiles/tea_profilers.dir/correlation.cc.o.d"
+  "CMakeFiles/tea_profilers.dir/golden.cc.o"
+  "CMakeFiles/tea_profilers.dir/golden.cc.o.d"
+  "CMakeFiles/tea_profilers.dir/overhead.cc.o"
+  "CMakeFiles/tea_profilers.dir/overhead.cc.o.d"
+  "CMakeFiles/tea_profilers.dir/pics.cc.o"
+  "CMakeFiles/tea_profilers.dir/pics.cc.o.d"
+  "CMakeFiles/tea_profilers.dir/sample_record.cc.o"
+  "CMakeFiles/tea_profilers.dir/sample_record.cc.o.d"
+  "CMakeFiles/tea_profilers.dir/sampler.cc.o"
+  "CMakeFiles/tea_profilers.dir/sampler.cc.o.d"
+  "libtea_profilers.a"
+  "libtea_profilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_profilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

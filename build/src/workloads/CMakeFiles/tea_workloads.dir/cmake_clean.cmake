@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_workloads.dir/microkernels.cc.o"
+  "CMakeFiles/tea_workloads.dir/microkernels.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/spec_like.cc.o"
+  "CMakeFiles/tea_workloads.dir/spec_like.cc.o.d"
+  "libtea_workloads.a"
+  "libtea_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

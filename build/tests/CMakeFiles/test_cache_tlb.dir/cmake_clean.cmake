@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_tlb.dir/test_cache_tlb.cc.o"
+  "CMakeFiles/test_cache_tlb.dir/test_cache_tlb.cc.o.d"
+  "test_cache_tlb"
+  "test_cache_tlb.pdb"
+  "test_cache_tlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

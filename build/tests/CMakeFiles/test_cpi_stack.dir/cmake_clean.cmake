@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpi_stack.dir/test_cpi_stack.cc.o"
+  "CMakeFiles/test_cpi_stack.dir/test_cpi_stack.cc.o.d"
+  "test_cpi_stack"
+  "test_cpi_stack.pdb"
+  "test_cpi_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpi_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pics.dir/test_pics.cc.o"
+  "CMakeFiles/test_pics.dir/test_pics.cc.o.d"
+  "test_pics"
+  "test_pics.pdb"
+  "test_pics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profilers.dir/test_profilers.cc.o"
+  "CMakeFiles/test_profilers.dir/test_profilers.cc.o.d"
+  "test_profilers"
+  "test_profilers.pdb"
+  "test_profilers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_record.dir/test_sample_record.cc.o"
+  "CMakeFiles/test_sample_record.dir/test_sample_record.cc.o.d"
+  "test_sample_record"
+  "test_sample_record.pdb"
+  "test_sample_record[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

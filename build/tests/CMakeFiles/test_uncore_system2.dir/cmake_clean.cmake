@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncore_system2.dir/test_uncore_system2.cc.o"
+  "CMakeFiles/test_uncore_system2.dir/test_uncore_system2.cc.o.d"
+  "test_uncore_system2"
+  "test_uncore_system2.pdb"
+  "test_uncore_system2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncore_system2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

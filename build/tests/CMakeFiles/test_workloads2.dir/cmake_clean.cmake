@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads2.dir/test_workloads2.cc.o"
+  "CMakeFiles/test_workloads2.dir/test_workloads2.cc.o.d"
+  "test_workloads2"
+  "test_workloads2.pdb"
+  "test_workloads2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
