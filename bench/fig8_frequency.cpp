@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -33,16 +34,24 @@ main()
     for (Cycle p : periods)
         err[p] = std::vector<double>(5, 0.0);
 
-    std::vector<std::string> names = workloads::suiteNames();
-    for (const std::string &name : names) {
-        std::vector<SamplerConfig> techs;
-        for (Cycle p : periods) {
-            for (SamplerConfig c : standardTechniques(p)) {
-                c.name += "@" + std::to_string(p);
-                techs.push_back(c);
-            }
+    // 35 samplers per benchmark observe one simulation; up to
+    // TEA_THREADS benchmarks run concurrently (default: all hardware
+    // threads), the period sweep being exactly the single-run fan-out
+    // the out-of-band replay methodology buys.
+    RunnerOptions opts = RunnerOptions::fromEnv();
+
+    std::vector<SamplerConfig> techs;
+    for (Cycle p : periods) {
+        for (SamplerConfig c : standardTechniques(p)) {
+            c.name += "@" + std::to_string(p);
+            techs.push_back(c);
         }
-        ExperimentResult res = runBenchmark(name, techs);
+    }
+
+    std::vector<std::string> names = workloads::suiteNames();
+    std::vector<ExperimentResult> all =
+        runBenchmarkSuite(names, techs, opts);
+    for (const ExperimentResult &res : all) {
         std::size_t idx = 0;
         for (Cycle p : periods) {
             for (unsigned t = 0; t < 5; ++t, ++idx)

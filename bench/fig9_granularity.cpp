@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -26,10 +27,14 @@ main()
                                  Granularity::Application};
     std::vector<std::string> names = workloads::suiteNames();
 
+    // Up to TEA_THREADS benchmarks simulate concurrently.
+    RunnerOptions opts = RunnerOptions::fromEnv();
+    std::vector<ExperimentResult> all =
+        runBenchmarkSuite(names, standardTechniques(), opts);
+
     // sums[granularity][technique]
     double sums[4][5] = {};
-    for (const std::string &name : names) {
-        ExperimentResult res = runBenchmark(name, standardTechniques());
+    for (const ExperimentResult &res : all) {
         for (unsigned g = 0; g < 4; ++g) {
             for (unsigned t = 0; t < 5; ++t) {
                 sums[g][t] +=

@@ -5,10 +5,15 @@
  * they explain the same execution (the paper's central experiment, on a
  * single benchmark of your choosing).
  *
- * Usage: compare_techniques [benchmark]
+ * Usage: compare_techniques [benchmark] [threads]
+ *
+ * All techniques replay the same captured trace out-of-band; pass a
+ * thread count (or set TEA_THREADS) to score them in parallel — the
+ * results are bit-identical at any thread count.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/report.hh"
@@ -21,7 +26,10 @@ int
 main(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "omnetpp";
-    ExperimentResult res = runBenchmark(name, standardTechniques());
+    RunnerOptions opts = RunnerOptions::fromEnv();
+    if (argc > 2)
+        opts.threads = static_cast<unsigned>(std::atoi(argv[2]));
+    ExperimentResult res = runBenchmark(name, standardTechniques(), opts);
     double total = res.golden->pics().total();
 
     Table t;
@@ -37,6 +45,7 @@ main(int argc, char **argv)
     std::printf("=== %s (%s cycles) ===\n", name.c_str(),
                 fmtCount(res.stats.cycles).c_str());
     t.print();
+    std::fputs(res.replay.render().c_str(), stdout);
 
     std::puts("\n-- What each technique thinks the #1 instruction is:");
     std::puts("golden reference:");

@@ -1,0 +1,208 @@
+#include "analysis/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/chunk_queue.hh"
+#include "common/logging.hh"
+
+namespace tea {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Environment unsigned with a default (fatal on garbage). */
+unsigned long long
+envCount(const char *name, unsigned long long dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v || *end)
+        tea_fatal("%s must be a non-negative integer, got '%s'", name, v);
+    return n;
+}
+
+} // namespace
+
+RunnerOptions
+RunnerOptions::fromEnv()
+{
+    RunnerOptions opts;
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    // Default: one replay worker per hardware thread (results are
+    // identical at any thread count, so this is purely a speed knob).
+    auto threads =
+        static_cast<unsigned>(envCount("TEA_THREADS", hw));
+    opts.threads = threads == 0 ? hw : threads;
+    opts.chunkEvents = static_cast<std::size_t>(
+        envCount("TEA_CHUNK_EVENTS", opts.chunkEvents));
+    opts.queueChunks = static_cast<std::size_t>(
+        envCount("TEA_QUEUE_CHUNKS", opts.queueChunks));
+    tea_assert(opts.chunkEvents >= 1, "TEA_CHUNK_EVENTS must be >= 1");
+    tea_assert(opts.queueChunks >= 1, "TEA_QUEUE_CHUNKS must be >= 1");
+    return opts;
+}
+
+ReplayStats
+replayThroughPool(const std::vector<SinkGroup> &groups,
+                  const RunnerOptions &opts,
+                  const std::function<void(TraceSink &)> &produce)
+{
+    ReplayStats stats;
+    const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
+        1, std::min<std::size_t>(opts.threads, groups.size())));
+    stats.threads = workers;
+    stats.workers.resize(workers);
+
+    BroadcastQueue<TraceChunkPtr> queue(std::max<std::size_t>(
+                                            1, opts.queueChunks),
+                                        workers);
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            // Round-robin share of the observer groups; sinks of one
+            // group stay together so each observer sees the trace
+            // in order on a single thread.
+            std::vector<TraceSink *> sinks;
+            unsigned my_groups = 0;
+            for (std::size_t g = w; g < groups.size();
+                 g += workers) {
+                sinks.insert(sinks.end(), groups[g].sinks.begin(),
+                             groups[g].sinks.end());
+                ++my_groups;
+            }
+            ReplayWorkerStats &ws = stats.workers[w];
+            ws.workerId = w;
+            ws.sinkGroups = my_groups;
+            const auto t0 = Clock::now();
+            TraceChunkPtr chunk;
+            while (queue.pop(w, chunk)) {
+                ++ws.chunksConsumed;
+                ws.eventsReplayed += chunk->events.size();
+                ws.cyclesReplayed += replayChunk(*chunk, sinks);
+                chunk.reset();
+            }
+            ws.replaySeconds = secondsSince(t0);
+            ws.queueEmptyWaits = queue.emptyWaits(w);
+        });
+    }
+
+    const auto start = Clock::now();
+    {
+        ChunkingSink sink(opts.chunkEvents, [&](TraceChunkPtr c) {
+            queue.push(std::move(c));
+        });
+        produce(sink);
+        sink.finish();
+        stats.chunksProduced = sink.chunksEmitted();
+        stats.eventsCaptured = sink.eventsCaptured();
+    }
+    stats.simulateSeconds = secondsSince(start);
+    queue.close();
+    for (std::thread &t : pool)
+        t.join();
+    stats.totalSeconds = secondsSince(start);
+    stats.queueFullStalls = queue.fullWaits();
+    return stats;
+}
+
+ExperimentResult
+runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
+            const RunnerOptions &opts, const CoreConfig &cfg)
+{
+    if (opts.threads <= 1) {
+        // Serial path: observers attached directly to the live core,
+        // bit-for-bit the historical behaviour.
+        return runWorkload(std::move(workload), std::move(techniques),
+                           cfg);
+    }
+
+    ExperimentResult res;
+    res.name = workload.program.name();
+    res.golden = std::make_unique<GoldenReference>();
+
+    std::vector<std::unique_ptr<TechniqueSampler>> samplers;
+    samplers.reserve(techniques.size());
+    for (SamplerConfig &tc : techniques)
+        samplers.push_back(std::make_unique<TechniqueSampler>(tc));
+
+    // One observer group per technique plus the golden reference: the
+    // unit of replay parallelism.
+    std::vector<SinkGroup> groups;
+    groups.reserve(samplers.size() + 1);
+    groups.push_back(SinkGroup{{res.golden.get()}});
+    for (auto &s : samplers)
+        groups.push_back(SinkGroup{{s.get()}});
+
+    Core core(cfg, workload.program, std::move(workload.initial));
+    res.replay = replayThroughPool(groups, opts, [&](TraceSink &sink) {
+        core.addSink(&sink);
+        core.run();
+    });
+
+    res.stats = core.stats();
+    for (auto &s : samplers) {
+        res.techniques.push_back(TechniqueResult{
+            s->config(), s->pics(), s->samplesTaken(),
+            s->samplesDropped()});
+    }
+    res.program = std::move(workload.program);
+    return res;
+}
+
+ExperimentResult
+runBenchmark(const std::string &name, std::vector<SamplerConfig> techniques,
+             const RunnerOptions &opts, const CoreConfig &cfg)
+{
+    return runWorkload(workloads::byName(name), std::move(techniques),
+                       opts, cfg);
+}
+
+std::vector<ExperimentResult>
+runBenchmarkSuite(const std::vector<std::string> &names,
+                  const std::vector<SamplerConfig> &techniques,
+                  const RunnerOptions &opts, const CoreConfig &cfg)
+{
+    std::vector<ExperimentResult> results(names.size());
+    const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
+        1, std::min<std::size_t>(opts.threads, names.size())));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            results[i] = runBenchmark(names[i], techniques, cfg);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t i = next.fetch_add(1); i < names.size();
+                 i = next.fetch_add(1)) {
+                // Each experiment is the serial in-process path:
+                // fully independent simulation, bit-identical result.
+                results[i] = runBenchmark(names[i], techniques, cfg);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace tea

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Parallel out-of-band trace replay engine.
+ *
+ * One simulation produces the cycle trace exactly once; the trace is
+ * captured in chunks (core/trace_buffer) and broadcast through a bounded
+ * SPMC queue (common/chunk_queue) to a pool of replay workers. Each
+ * worker owns a disjoint subset of the observer groups (the golden
+ * reference and one group per sampling technique) and replays every
+ * chunk through them in capture order, so each observer sees the exact
+ * event sequence a live run would have delivered — the determinism that
+ * makes single-run, many-technique evaluation sound (TEA §4) — while
+ * techniques are scored concurrently.
+ *
+ * This is the engine behind runWorkload()/runBenchmark() when
+ * RunnerOptions::threads > 1; the lower-level entry points here are for
+ * callers that bring their own TraceSinks.
+ */
+
+#ifndef TEA_ANALYSIS_PARALLEL_RUNNER_HH
+#define TEA_ANALYSIS_PARALLEL_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "analysis/runner.hh"
+#include "common/stats.hh"
+#include "core/trace_buffer.hh"
+
+namespace tea {
+
+/**
+ * A group of TraceSinks that must observe the trace in order on one
+ * thread (e.g. one technique's sampler, or the golden reference).
+ * Groups are the unit of parallelism: two groups may replay on
+ * different workers, sinks within a group never do.
+ */
+struct SinkGroup
+{
+    std::vector<TraceSink *> sinks;
+};
+
+/**
+ * Replay worker pool: broadcasts chunks produced by @c produce to
+ * min(threads, groups) workers, each driving a round-robin share of
+ * @p groups. Blocks until the producer finishes and all workers drain.
+ *
+ * @param groups observer groups (each replayed in-order on one worker)
+ * @param opts thread count / chunking / backpressure knobs
+ * @param produce called with a ChunkingSink-compatible TraceSink; must
+ *        generate the full trace into it (typically by running a Core
+ *        with the sink attached)
+ * @return counters describing the run (workers, stalls, throughput)
+ */
+ReplayStats replayThroughPool(
+    const std::vector<SinkGroup> &groups, const RunnerOptions &opts,
+    const std::function<void(TraceSink &)> &produce);
+
+/**
+ * Run many benchmarks concurrently: the fig 5/8/9 shape (many workloads
+ * × a fixed technique set). Up to opts.threads experiments are in
+ * flight at a time; each experiment runs its observers serially
+ * in-process (the threads=1 path), so every result is bit-identical to
+ * a serial `for (name : names) runBenchmark(name, techniques)` loop —
+ * experiments are fully independent simulations, which makes this the
+ * better-scaling axis whenever there are more workloads than observer
+ * groups per workload.
+ *
+ * @return results in the order of @p names
+ */
+std::vector<ExperimentResult> runBenchmarkSuite(
+    const std::vector<std::string> &names,
+    const std::vector<SamplerConfig> &techniques,
+    const RunnerOptions &opts = RunnerOptions{},
+    const CoreConfig &cfg = CoreConfig{});
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_PARALLEL_RUNNER_HH

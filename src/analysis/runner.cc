@@ -1,5 +1,7 @@
 #include "analysis/runner.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace tea {
@@ -36,6 +38,8 @@ ExperimentResult
 runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             const CoreConfig &cfg)
 {
+    const auto start = std::chrono::steady_clock::now();
+
     ExperimentResult res;
     res.name = workload.program.name();
     res.golden = std::make_unique<GoldenReference>();
@@ -58,6 +62,10 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             s->samplesDropped()});
     }
     res.program = std::move(workload.program);
+    res.replay.totalSeconds = res.replay.simulateSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return res;
 }
 

@@ -8,10 +8,12 @@
 #ifndef TEA_ANALYSIS_RUNNER_HH
 #define TEA_ANALYSIS_RUNNER_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "core/core.hh"
 #include "profilers/golden.hh"
 #include "profilers/sampler.hh"
@@ -28,12 +30,38 @@ struct TechniqueResult
     std::uint64_t samplesDropped = 0;
 };
 
+/**
+ * How an experiment is executed.
+ *
+ * threads == 1 runs the historical serial path: every observer is
+ * attached directly to the live core, which is bit-for-bit today's
+ * behaviour. threads > 1 captures the trace once and fans it out to
+ * worker threads, each replaying through its own observers; because
+ * replay delivers the identical event sequence, results are
+ * bit-identical to the serial path at any thread count (see DESIGN.md,
+ * "Out-of-band replay at scale").
+ */
+struct RunnerOptions
+{
+    unsigned threads = 1;          ///< replay worker threads
+    std::size_t chunkEvents = 4096; ///< trace events per chunk
+    std::size_t queueChunks = 16;   ///< chunks in flight before backpressure
+
+    /**
+     * Options from the environment: TEA_THREADS (default 1),
+     * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS. TEA_THREADS=0 means "one
+     * worker per hardware thread".
+     */
+    static RunnerOptions fromEnv();
+};
+
 /** Outcome of simulating one workload with all observers attached. */
 struct ExperimentResult
 {
     std::string name;
     Program program;
     CoreStats stats;
+    ReplayStats replay;
     std::unique_ptr<GoldenReference> golden;
     std::vector<TechniqueResult> techniques;
 
@@ -51,15 +79,29 @@ struct ExperimentResult
 /** The five techniques compared in Fig 5, in paper order. */
 std::vector<SamplerConfig> standardTechniques(Cycle period = 127);
 
-/** Simulate @p workload with @p techniques and the golden reference. */
+/**
+ * Simulate @p workload with @p techniques and the golden reference.
+ * Dispatches on opts.threads: 1 = serial in-process observers, > 1 =
+ * parallel out-of-band replay (identical results either way).
+ */
 ExperimentResult runWorkload(Workload workload,
                              std::vector<SamplerConfig> techniques,
+                             const RunnerOptions &opts = RunnerOptions{},
                              const CoreConfig &cfg = CoreConfig{});
 
 /** Convenience: construct a suite benchmark by name and run it. */
 ExperimentResult runBenchmark(const std::string &name,
                               std::vector<SamplerConfig> techniques,
+                              const RunnerOptions &opts = RunnerOptions{},
                               const CoreConfig &cfg = CoreConfig{});
+
+/** Compatibility overloads: custom core config, default run options. */
+ExperimentResult runWorkload(Workload workload,
+                             std::vector<SamplerConfig> techniques,
+                             const CoreConfig &cfg);
+ExperimentResult runBenchmark(const std::string &name,
+                              std::vector<SamplerConfig> techniques,
+                              const CoreConfig &cfg);
 
 } // namespace tea
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded single-producer / multi-consumer broadcast queue.
+ *
+ * The parallel replay engine captures the cycle trace in chunks and fans
+ * every chunk out to N replay workers. Unlike a work-stealing queue,
+ * every consumer observes every item (the trace is broadcast, not
+ * partitioned), so the queue keeps one read cursor per consumer and the
+ * producer blocks once the slowest consumer falls a full window behind
+ * (condition-variable backpressure). Items are typically
+ * `std::shared_ptr<const TraceChunk>`, so a push/pop moves a pointer,
+ * never the chunk payload.
+ */
+
+#ifndef TEA_COMMON_CHUNK_QUEUE_HH
+#define TEA_COMMON_CHUNK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+/**
+ * Bounded SPMC broadcast queue: one producer, @p consumers readers, each
+ * of which sees every pushed item exactly once, in push order.
+ */
+template <typename T>
+class BroadcastQueue
+{
+  public:
+    /**
+     * @param capacity max items the fastest consumer may lead the
+     *                 slowest by before the producer blocks (>= 1)
+     * @param consumers number of registered consumers (>= 1)
+     */
+    BroadcastQueue(std::size_t capacity, unsigned consumers)
+        : capacity_(capacity), cursors_(consumers, 0),
+          emptyWaits_(consumers, 0)
+    {
+        tea_assert(capacity >= 1, "queue capacity must be >= 1");
+        tea_assert(consumers >= 1, "queue needs >= 1 consumer");
+    }
+
+    /**
+     * Append @p item; every consumer will observe it. Blocks while the
+     * slowest consumer is @c capacity items behind.
+     */
+    void push(T item)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        tea_assert(!closed_, "push() on a closed BroadcastQueue");
+        if (head_ - minCursor() >= capacity_) {
+            ++fullWaits_;
+            notFull_.wait(lk, [&] {
+                return head_ - minCursor() < capacity_;
+            });
+        }
+        ring_.push_back(std::move(item));
+        ++head_;
+        notEmpty_.notify_all();
+    }
+
+    /** Mark the stream complete; consumers drain and then see EOF. */
+    void close()
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        closed_ = true;
+        notEmpty_.notify_all();
+    }
+
+    /**
+     * Fetch the next item for @p consumer. Blocks until an item is
+     * available. @return false once the queue is closed and this
+     * consumer has seen every item.
+     */
+    bool pop(unsigned consumer, T &out)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        tea_assert(consumer < cursors_.size(),
+                   "consumer id %u out of range", consumer);
+        if (cursors_[consumer] == head_ && !closed_) {
+            ++emptyWaits_[consumer];
+            notEmpty_.wait(lk, [&] {
+                return cursors_[consumer] < head_ || closed_;
+            });
+        }
+        if (cursors_[consumer] == head_)
+            return false; // closed and drained
+        const std::uint64_t base = head_ - ring_.size();
+        out = ring_[cursors_[consumer] - base];
+        ++cursors_[consumer];
+        // Drop items every consumer has consumed and wake the producer.
+        for (std::uint64_t b = base; minCursor() > b; ++b) {
+            ring_.pop_front();
+            notFull_.notify_one();
+        }
+        return true;
+    }
+
+    /** Items pushed so far. */
+    std::uint64_t pushed() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return head_;
+    }
+
+    /** Times the producer blocked on a full window. */
+    std::uint64_t fullWaits() const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return fullWaits_;
+    }
+
+    /** Times consumer @p c blocked on an empty queue. */
+    std::uint64_t emptyWaits(unsigned c) const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        return emptyWaits_.at(c);
+    }
+
+  private:
+    std::uint64_t minCursor() const
+    {
+        std::uint64_t m = cursors_[0];
+        for (std::uint64_t c : cursors_)
+            m = c < m ? c : m;
+        return m;
+    }
+
+    mutable std::mutex m_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+
+    std::deque<T> ring_; ///< items [head_ - ring_.size(), head_)
+    const std::size_t capacity_;
+    std::uint64_t head_ = 0; ///< global index of the next push
+    std::vector<std::uint64_t> cursors_;
+    bool closed_ = false;
+
+    std::uint64_t fullWaits_ = 0;
+    std::vector<std::uint64_t> emptyWaits_;
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_CHUNK_QUEUE_HH

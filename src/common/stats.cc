@@ -130,4 +130,36 @@ Histogram::quantile(double f) const
     return maxValue_ + 1;
 }
 
+std::string
+ReplayStats::render() const
+{
+    std::string out;
+    if (!parallel()) {
+        out += strprintf("replay: serial in-process path "
+                         "(%.3f s total)\n",
+                         totalSeconds);
+        return out;
+    }
+    out += strprintf(
+        "replay: %u worker(s), %llu chunk(s), %llu event(s), "
+        "%llu producer queue-full stall(s)\n",
+        threads, static_cast<unsigned long long>(chunksProduced),
+        static_cast<unsigned long long>(eventsCaptured),
+        static_cast<unsigned long long>(queueFullStalls));
+    out += strprintf("  simulate %.3f s, total %.3f s\n", simulateSeconds,
+                     totalSeconds);
+    for (const ReplayWorkerStats &w : workers) {
+        out += strprintf(
+            "  worker %u: %u group(s), %llu chunk(s), %llu event(s), "
+            "%llu cycle(s), %llu empty-wait(s), %.2f Mcycles/s\n",
+            w.workerId, w.sinkGroups,
+            static_cast<unsigned long long>(w.chunksConsumed),
+            static_cast<unsigned long long>(w.eventsReplayed),
+            static_cast<unsigned long long>(w.cyclesReplayed),
+            static_cast<unsigned long long>(w.queueEmptyWaits),
+            w.cyclesPerSecond() / 1e6);
+    }
+    return out;
+}
+
 } // namespace tea

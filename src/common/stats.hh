@@ -2,7 +2,8 @@
  * @file
  * Statistics helpers used by the analysis layer and the benches:
  * summary moments, percentiles, Pearson correlation, five-number boxplot
- * summaries and fixed-bin histograms.
+ * summaries, fixed-bin histograms, and the replay-engine counters that
+ * make the parallel runner's behaviour observable.
  */
 
 #ifndef TEA_COMMON_STATS_HH
@@ -10,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace tea {
@@ -83,6 +85,44 @@ class Histogram
     std::uint64_t maxValue_;
     std::uint64_t count_ = 0;
     unsigned __int128 sum_ = 0;
+};
+
+/** Per-worker counters of one parallel replay (see analysis/parallel_runner). */
+struct ReplayWorkerStats
+{
+    unsigned workerId = 0;
+    unsigned sinkGroups = 0;          ///< observer groups this worker drives
+    std::uint64_t chunksConsumed = 0;
+    std::uint64_t eventsReplayed = 0;
+    std::uint64_t cyclesReplayed = 0;
+    std::uint64_t queueEmptyWaits = 0; ///< times blocked on an empty queue
+    double replaySeconds = 0.0;        ///< wall time inside the replay loop
+
+    /** Replay throughput in cycles per second (0 if unmeasured). */
+    double cyclesPerSecond() const
+    {
+        return replaySeconds > 0.0
+                   ? static_cast<double>(cyclesReplayed) / replaySeconds
+                   : 0.0;
+    }
+};
+
+/** Aggregate counters of one parallel replay run. */
+struct ReplayStats
+{
+    unsigned threads = 0;              ///< worker threads (0 = serial path)
+    std::uint64_t chunksProduced = 0;
+    std::uint64_t eventsCaptured = 0;
+    std::uint64_t queueFullStalls = 0; ///< producer-side backpressure hits
+    double simulateSeconds = 0.0;      ///< producer (simulation) wall time
+    double totalSeconds = 0.0;         ///< simulate + drain wall time
+    std::vector<ReplayWorkerStats> workers;
+
+    /** True when this run went through the threaded replay path. */
+    bool parallel() const { return threads > 0; }
+
+    /** Multi-line human-readable listing of all counters. */
+    std::string render() const;
 };
 
 } // namespace tea

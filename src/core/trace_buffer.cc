@@ -1,0 +1,162 @@
+#include "core/trace_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+
+void
+deliverEvent(const TraceEvent &ev, TraceSink &sink)
+{
+    switch (ev.kind) {
+      case TraceEventKind::Cycle:
+        sink.onCycle(ev.p.cycle);
+        break;
+      case TraceEventKind::Dispatch:
+        sink.onDispatch(ev.p.uop);
+        break;
+      case TraceEventKind::Fetch:
+        sink.onFetch(ev.p.uop);
+        break;
+      case TraceEventKind::Retire:
+        sink.onRetire(ev.p.retire);
+        break;
+      case TraceEventKind::End:
+        sink.onEnd(ev.p.end);
+        break;
+    }
+}
+
+std::uint64_t
+replayChunk(const TraceChunk &chunk, const std::vector<TraceSink *> &sinks)
+{
+    for (const TraceEvent &ev : chunk.events) {
+        for (TraceSink *s : sinks)
+            deliverEvent(ev, *s);
+    }
+    return chunk.cycleRecords;
+}
+
+ChunkingSink::ChunkingSink(std::size_t chunk_events, Emit emit)
+    : chunkEvents_(chunk_events), emit_(std::move(emit))
+{
+    tea_assert(chunkEvents_ >= 1, "chunk size must be >= 1");
+    tea_assert(emit_, "ChunkingSink needs an emit callback");
+}
+
+TraceEvent &
+ChunkingSink::append(TraceEventKind kind)
+{
+    if (!open_) {
+        open_ = std::make_shared<TraceChunk>();
+        open_->events.reserve(chunkEvents_);
+    }
+    open_->events.emplace_back();
+    TraceEvent &ev = open_->events.back();
+    ev.kind = kind;
+    ++events_;
+    return ev;
+}
+
+void
+ChunkingSink::onCycle(const CycleRecord &rec)
+{
+    TraceEvent &ev = append(TraceEventKind::Cycle);
+    ev.p.cycle = rec;
+    ++open_->cycleRecords;
+    if (open_->events.size() >= chunkEvents_)
+        finish();
+}
+
+void
+ChunkingSink::onDispatch(const UopRecord &rec)
+{
+    append(TraceEventKind::Dispatch).p.uop = rec;
+    if (open_->events.size() >= chunkEvents_)
+        finish();
+}
+
+void
+ChunkingSink::onFetch(const UopRecord &rec)
+{
+    append(TraceEventKind::Fetch).p.uop = rec;
+    if (open_->events.size() >= chunkEvents_)
+        finish();
+}
+
+void
+ChunkingSink::onRetire(const RetireRecord &rec)
+{
+    append(TraceEventKind::Retire).p.retire = rec;
+    if (open_->events.size() >= chunkEvents_)
+        finish();
+}
+
+void
+ChunkingSink::onEnd(Cycle final_cycle)
+{
+    append(TraceEventKind::End).p.end = final_cycle;
+    finish();
+}
+
+void
+ChunkingSink::finish()
+{
+    if (!open_)
+        return;
+    ++chunks_;
+    emit_(std::move(open_));
+    open_.reset();
+}
+
+TraceBuffer::TraceBuffer(std::size_t chunk_events)
+    : sink_(chunk_events,
+            [this](TraceChunkPtr c) { chunks_.push_back(std::move(c)); })
+{
+}
+
+void
+TraceBuffer::onCycle(const CycleRecord &rec)
+{
+    sink_.onCycle(rec);
+}
+
+void
+TraceBuffer::onDispatch(const UopRecord &rec)
+{
+    sink_.onDispatch(rec);
+}
+
+void
+TraceBuffer::onFetch(const UopRecord &rec)
+{
+    sink_.onFetch(rec);
+}
+
+void
+TraceBuffer::onRetire(const RetireRecord &rec)
+{
+    sink_.onRetire(rec);
+}
+
+void
+TraceBuffer::onEnd(Cycle final_cycle)
+{
+    sink_.onEnd(final_cycle);
+}
+
+void
+TraceBuffer::finish()
+{
+    sink_.finish();
+}
+
+std::uint64_t
+TraceBuffer::replay(const std::vector<TraceSink *> &sinks) const
+{
+    std::uint64_t cycles = 0;
+    for (const TraceChunkPtr &c : chunks_)
+        cycles += replayChunk(*c, sinks);
+    return cycles;
+}
+
+} // namespace tea

@@ -60,10 +60,20 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::close()
 {
-    if (file_) {
-        std::fclose(file_);
-        file_ = nullptr;
+    if (!file_)
+        return;
+    // fwrite() is buffered, so a full disk often only surfaces at
+    // flush/close time; losing the tail of a trace silently would
+    // invalidate every analysis replayed from it.
+    std::FILE *f = file_;
+    file_ = nullptr;
+    if (std::fflush(f) != 0 || std::ferror(f)) {
+        std::fclose(f);
+        tea_fatal("error flushing trace file '%s' (disk full?)",
+                  path_.c_str());
     }
+    if (std::fclose(f) != 0)
+        tea_fatal("error closing trace file '%s'", path_.c_str());
 }
 
 void
@@ -71,7 +81,8 @@ TraceWriter::put(const void *data, std::size_t bytes)
 {
     tea_assert(file_, "trace file '%s' already closed", path_.c_str());
     if (std::fwrite(data, 1, bytes, file_) != bytes)
-        tea_fatal("short write to trace file '%s'", path_.c_str());
+        tea_fatal("short write to trace file '%s' (disk full?)",
+                  path_.c_str());
 }
 
 void

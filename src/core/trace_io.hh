@@ -38,7 +38,12 @@ class TraceWriter : public TraceSink
     /** Events written so far. */
     std::uint64_t eventsWritten() const { return events_; }
 
-    /** Flush and close the file (also done by the destructor). */
+    /**
+     * Flush and close the file (also done by the destructor). Fatal if
+     * the flush or close fails: buffered writes mean a full disk often
+     * only surfaces here, and a silently truncated trace would corrupt
+     * every analysis replayed from it.
+     */
     void close();
 
   private:

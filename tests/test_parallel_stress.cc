@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Concurrency stress tests for the replay engine, designed to flush
+ * races in the chunk queue: oversubscribed worker pools, single-event
+ * chunks, a 2-deep queue (constant producer/consumer contention), and a
+ * hammering BroadcastQueue workout. Build with -DTEA_SANITIZE=thread to
+ * run these under ThreadSanitizer (`ctest -L parallel`).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "analysis/parallel_runner.hh"
+#include "analysis/runner.hh"
+#include "common/chunk_queue.hh"
+#include "core/trace_buffer.hh"
+#include "test_util.hh"
+
+using namespace tea;
+using namespace tea::test;
+
+namespace {
+
+/** Sweep of sampling configs: many observer groups to schedule. */
+std::vector<SamplerConfig>
+manyTechniques()
+{
+    std::vector<SamplerConfig> techs;
+    for (Cycle period : {31u, 127u, 509u}) {
+        for (SamplerConfig c : standardTechniques(period)) {
+            c.name += "@" + std::to_string(period);
+            techs.push_back(c);
+        }
+        SamplerConfig tip = tipConfig(period);
+        tip.name += "@" + std::to_string(period);
+        techs.push_back(tip);
+    }
+    return techs;
+}
+
+RunnerOptions
+withThreads(unsigned threads)
+{
+    RunnerOptions o;
+    o.threads = threads;
+    return o;
+}
+
+} // namespace
+
+TEST(ParallelStress, OversubscribedPoolTinyChunks)
+{
+    // A large microkernel trace replayed by far more workers than the
+    // host has cores, through single-event chunks and a 2-deep queue:
+    // maximum handoff churn per delivered event.
+    RunnerOptions hostile;
+    hostile.threads = 16;
+    hostile.chunkEvents = 1;
+    hostile.queueChunks = 2;
+
+    std::vector<SamplerConfig> techs = manyTechniques();
+    ExperimentResult par = runWorkload(
+        workloads::pointerChase(256, 40, 4096), techs, hostile);
+    ExperimentResult serial = runWorkload(
+        workloads::pointerChase(256, 40, 4096), techs, withThreads(1));
+
+    EXPECT_EQ(par.replay.threads, 16u);
+    EXPECT_EQ(par.replay.chunksProduced, par.replay.eventsCaptured);
+    EXPECT_EQ(serial.stats.cycles, par.stats.cycles);
+    ASSERT_EQ(serial.techniques.size(), par.techniques.size());
+    for (std::size_t i = 0; i < serial.techniques.size(); ++i) {
+        SCOPED_TRACE(serial.techniques[i].config.name);
+        EXPECT_EQ(serial.techniques[i].samplesTaken,
+                  par.techniques[i].samplesTaken);
+        EXPECT_EQ(serial.techniques[i].pics.total(),
+                  par.techniques[i].pics.total());
+        EXPECT_EQ(serial.errorOf(serial.techniques[i]),
+                  par.errorOf(par.techniques[i]));
+    }
+}
+
+TEST(ParallelStress, RepeatedRunsAreStable)
+{
+    // Back-to-back parallel runs (fresh pool + queue each time) keep
+    // producing the same bits; instability here means a race.
+    RunnerOptions opts;
+    opts.threads = 8;
+    opts.chunkEvents = 64;
+    opts.queueChunks = 3;
+
+    double first_total = -1.0;
+    std::uint64_t first_samples = 0;
+    for (int round = 0; round < 3; ++round) {
+        SCOPED_TRACE(round);
+        ExperimentResult res = runWorkload(
+            workloads::streamSum(512, 24), standardTechniques(), opts);
+        const TechniqueResult &tea = res.technique("TEA");
+        if (round == 0) {
+            first_total = tea.pics.total();
+            first_samples = tea.samplesTaken;
+        } else {
+            EXPECT_EQ(tea.pics.total(), first_total);
+            EXPECT_EQ(tea.samplesTaken, first_samples);
+        }
+    }
+}
+
+TEST(ParallelStress, BroadcastQueueHammer)
+{
+    // Raw queue workout: tiny window, many consumers, and a payload
+    // checksum proving nothing is dropped, duplicated or reordered.
+    constexpr unsigned consumers = 8;
+    constexpr std::uint64_t items = 20000;
+    BroadcastQueue<std::uint64_t> q(2, consumers);
+
+    std::vector<std::uint64_t> sums(consumers, 0);
+    std::vector<std::uint64_t> counts(consumers, 0);
+    std::atomic<bool> ordered{true};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < consumers; ++c) {
+        threads.emplace_back([&, c] {
+            std::uint64_t v, prev = 0;
+            bool first = true;
+            while (q.pop(c, v)) {
+                if (!first && v != prev + 1)
+                    ordered = false;
+                first = false;
+                prev = v;
+                sums[c] += v;
+                ++counts[c];
+            }
+        });
+    }
+    for (std::uint64_t i = 1; i <= items; ++i)
+        q.push(i);
+    q.close();
+    for (std::thread &t : threads)
+        t.join();
+
+    const std::uint64_t want = items * (items + 1) / 2;
+    for (unsigned c = 0; c < consumers; ++c) {
+        EXPECT_EQ(counts[c], items);
+        EXPECT_EQ(sums[c], want);
+    }
+    EXPECT_TRUE(ordered.load());
+}
+
+TEST(ParallelStress, ChunkingSinkStreamsUnderBackpressure)
+{
+    // Producer-side: a ChunkingSink feeding a window the consumer
+    // drains slowly; exercises the push/pop stall counters.
+    BroadcastQueue<TraceChunkPtr> q(2, 1);
+    std::uint64_t replayed_events = 0;
+    std::thread consumer([&] {
+        TraceChunkPtr chunk;
+        while (q.pop(0, chunk))
+            replayed_events += chunk->events.size();
+    });
+
+    ChunkingSink sink(8, [&](TraceChunkPtr c) { q.push(std::move(c)); });
+    {
+        CoreRun run = makeCore(workloads::branchNoise(4000));
+        run->addSink(&sink);
+        run->run();
+    }
+    sink.finish();
+    q.close();
+    consumer.join();
+    EXPECT_EQ(replayed_events, sink.eventsCaptured());
+    EXPECT_GT(sink.chunksEmitted(), 100u);
+}

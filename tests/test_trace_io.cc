@@ -6,7 +6,10 @@
 
 #include <cstdio>
 #include <gtest/gtest.h>
+#include <vector>
 
+#include "common/rng.hh"
+#include "core/trace_buffer.hh"
 #include "core/trace_io.hh"
 #include "profilers/golden.hh"
 #include "profilers/sampler.hh"
@@ -111,6 +114,205 @@ TEST(TraceIo, CyclesReturnedMatchesSimulation)
     }
     Cycle replayed = replayTrace(tmp.path, {});
     EXPECT_EQ(replayed, sim_cycles);
+}
+
+namespace {
+
+/**
+ * A seeded random event sequence and the TraceSink calls that produce
+ * it. Cycle records only populate committed[0, numCommitted) — exactly
+ * what the core emits and what the on-disk format preserves.
+ */
+std::vector<TraceEvent>
+randomEvents(std::uint64_t seed, unsigned count)
+{
+    Rng rng(seed);
+    std::vector<TraceEvent> evs;
+    evs.reserve(count + 1);
+    for (unsigned i = 0; i < count; ++i) {
+        TraceEvent ev;
+        switch (rng.below(4)) {
+          case 0: {
+            ev.kind = TraceEventKind::Cycle;
+            CycleRecord rec;
+            rec.cycle = i;
+            rec.state = static_cast<CommitState>(rng.below(4));
+            rec.numCommitted =
+                static_cast<std::uint8_t>(rng.below(9));
+            for (unsigned u = 0; u < rec.numCommitted; ++u) {
+                rec.committed[u] = CommittedUop{
+                    rng.next(),
+                    static_cast<InstIndex>(rng.below(1 << 20)),
+                    Psv(static_cast<std::uint16_t>(
+                        rng.below(0x200)))};
+            }
+            rec.headValid = rng.chance(0.5);
+            rec.headSeq = rng.next();
+            rec.headPc = static_cast<InstIndex>(rng.below(1 << 20));
+            rec.lastValid = rng.chance(0.5);
+            rec.lastPc = static_cast<InstIndex>(rng.below(1 << 20));
+            rec.lastPsv =
+                Psv(static_cast<std::uint16_t>(rng.below(0x200)));
+            ev.p.cycle = rec;
+            break;
+          }
+          case 1:
+          case 2: {
+            ev.kind = rng.chance(0.5) ? TraceEventKind::Dispatch
+                                      : TraceEventKind::Fetch;
+            ev.p.uop = UopRecord{
+                rng.next(),
+                static_cast<InstIndex>(rng.below(1 << 20)), i};
+            break;
+          }
+          default: {
+            ev.kind = TraceEventKind::Retire;
+            ev.p.retire = RetireRecord{
+                rng.next(),
+                static_cast<InstIndex>(rng.below(1 << 20)),
+                Psv(static_cast<std::uint16_t>(rng.below(0x200))),
+                i};
+            break;
+          }
+        }
+        evs.push_back(ev);
+    }
+    // onEnd closes the writer, so the end marker is always last.
+    TraceEvent end;
+    end.kind = TraceEventKind::End;
+    end.p.end = count;
+    evs.push_back(end);
+    return evs;
+}
+
+/** Expect that a replayed event equals the one originally written. */
+void
+expectEventEqual(const TraceEvent &want, const TraceEvent &got)
+{
+    ASSERT_EQ(static_cast<int>(want.kind), static_cast<int>(got.kind));
+    switch (want.kind) {
+      case TraceEventKind::Cycle: {
+        const CycleRecord &w = want.p.cycle;
+        const CycleRecord &g = got.p.cycle;
+        EXPECT_EQ(w.cycle, g.cycle);
+        EXPECT_EQ(static_cast<int>(w.state), static_cast<int>(g.state));
+        ASSERT_EQ(w.numCommitted, g.numCommitted);
+        for (unsigned u = 0; u < w.numCommitted; ++u) {
+            EXPECT_EQ(w.committed[u].seq, g.committed[u].seq);
+            EXPECT_EQ(w.committed[u].pc, g.committed[u].pc);
+            EXPECT_EQ(w.committed[u].psv, g.committed[u].psv);
+        }
+        EXPECT_EQ(w.headValid, g.headValid);
+        EXPECT_EQ(w.headSeq, g.headSeq);
+        EXPECT_EQ(w.headPc, g.headPc);
+        EXPECT_EQ(w.lastValid, g.lastValid);
+        EXPECT_EQ(w.lastPc, g.lastPc);
+        EXPECT_EQ(w.lastPsv, g.lastPsv);
+        break;
+      }
+      case TraceEventKind::Dispatch:
+      case TraceEventKind::Fetch:
+        EXPECT_EQ(want.p.uop.seq, got.p.uop.seq);
+        EXPECT_EQ(want.p.uop.pc, got.p.uop.pc);
+        EXPECT_EQ(want.p.uop.cycle, got.p.uop.cycle);
+        break;
+      case TraceEventKind::Retire:
+        EXPECT_EQ(want.p.retire.seq, got.p.retire.seq);
+        EXPECT_EQ(want.p.retire.pc, got.p.retire.pc);
+        EXPECT_EQ(want.p.retire.psv, got.p.retire.psv);
+        EXPECT_EQ(want.p.retire.cycle, got.p.retire.cycle);
+        break;
+      case TraceEventKind::End:
+        EXPECT_EQ(want.p.end, got.p.end);
+        break;
+    }
+}
+
+void
+writeEvents(const std::vector<TraceEvent> &evs, TraceSink &sink)
+{
+    for (const TraceEvent &ev : evs)
+        deliverEvent(ev, sink);
+}
+
+} // namespace
+
+class TraceIoRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceIoRoundTrip, RandomizedEventSequenceSurvivesRoundTrip)
+{
+    const std::uint64_t seed = GetParam();
+    TempFile tmp(("roundtrip" + std::to_string(seed) + ".bin").c_str());
+    std::vector<TraceEvent> written = randomEvents(seed, 2000);
+
+    TraceWriter writer(tmp.path);
+    writeEvents(written, writer);
+    EXPECT_EQ(writer.eventsWritten(), written.size());
+
+    TraceBuffer replayed(256);
+    replayTrace(tmp.path, {&replayed});
+    replayed.finish();
+
+    std::vector<TraceEvent> got;
+    for (const TraceChunkPtr &c : replayed.chunks())
+        got.insert(got.end(), c->events.begin(), c->events.end());
+
+    ASSERT_EQ(got.size(), written.size()); // count and ordering
+    for (std::size_t i = 0; i < written.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectEventEqual(written[i], got[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoRoundTrip,
+                         ::testing::Values(1u, 42u, 0xdecafbadu));
+
+TEST(TraceIo, TruncatedFileIsFatal)
+{
+    TempFile tmp("truncated.bin");
+    {
+        TraceWriter writer(tmp.path);
+        writeEvents(randomEvents(7, 100), writer);
+    }
+
+    // Chop the tail mid-record: replay must refuse, not misparse.
+    std::FILE *f = std::fopen(tmp.path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    ASSERT_GT(size, 16);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+
+    f = std::fopen(tmp.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 5, f);
+    std::fclose(f);
+
+    EXPECT_EXIT(replayTrace(tmp.path, {}),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIo, WriterReportsFullDiskAtClose)
+{
+    // /dev/full accepts buffered fwrite()s and fails them at flush:
+    // exactly the silent-loss path TraceWriter::close() must catch.
+    EXPECT_EXIT(
+        {
+            TraceWriter writer("/dev/full");
+            writeEvents(randomEvents(3, 50), writer);
+        },
+        ::testing::ExitedWithCode(1), "trace file");
+}
+
+TEST(TraceIo, WriterUnwritablePathIsFatal)
+{
+    EXPECT_EXIT(TraceWriter("/nonexistent-dir/tea.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
 }
 
 TEST(TraceIo, CorruptFileIsFatal)
