@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -26,9 +27,11 @@ main()
     t.header({"benchmark", "IBS (6 events)", "DTAG-TEA (9 events)",
               "TEA (9 events)"});
     std::vector<double> sums(techs.size(), 0.0);
-    for (const std::string &name : names) {
-        ExperimentResult res = runBenchmark(name, techs);
-        std::vector<std::string> row{name};
+    std::vector<ExperimentResult> runs =
+        runBenchmarkSuite(names, techs, RunnerOptions::fromEnv());
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const ExperimentResult &res = runs[n];
+        std::vector<std::string> row{names[n]};
         for (std::size_t i = 0; i < res.techniques.size(); ++i) {
             double err = res.errorOf(res.techniques[i]);
             sums[i] += err;

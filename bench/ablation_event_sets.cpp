@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -35,8 +36,9 @@ main()
     std::vector<double> vocab_err(techs.size(), 0.0); // vs FULL golden
     double ibs_err = 0.0;
 
-    for (const std::string &name : names) {
-        ExperimentResult res = runBenchmark(name, techs);
+    std::vector<ExperimentResult> runs =
+        runBenchmarkSuite(names, techs, RunnerOptions::fromEnv());
+    for (const ExperimentResult &res : runs) {
         Pics full_golden = res.golden->pics(); // 9-event reference
         for (std::size_t i = 0; i < techs.size(); ++i) {
             vocab_err[i] +=

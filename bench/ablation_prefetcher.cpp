@@ -6,7 +6,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -19,16 +21,25 @@ main()
     t.header({"benchmark", "cycles (pf on)", "cycles (pf off)",
               "prefetcher speedup", "TEA err on", "TEA err off"});
 
-    for (const std::string &name : workloads::suiteNames()) {
-        CoreConfig on;
-        CoreConfig off;
-        off.nextLinePrefetcher = false;
-        ExperimentResult with = runBenchmark(name, {teaConfig()}, on);
-        ExperimentResult without = runBenchmark(name, {teaConfig()},
-                                                off);
+    // Two suite sweeps, one per configuration; the trace cache (when
+    // enabled) keys entries on the full config, so the two sweeps keep
+    // distinct cache entries.
+    RunnerOptions opts = RunnerOptions::fromEnv();
+    CoreConfig on;
+    CoreConfig off;
+    off.nextLinePrefetcher = false;
+    std::vector<std::string> names = workloads::suiteNames();
+    std::vector<ExperimentResult> runs_on =
+        runBenchmarkSuite(names, {teaConfig()}, opts, on);
+    std::vector<ExperimentResult> runs_off =
+        runBenchmarkSuite(names, {teaConfig()}, opts, off);
+
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const ExperimentResult &with = runs_on[n];
+        const ExperimentResult &without = runs_off[n];
         double speedup = static_cast<double>(without.stats.cycles) /
                          static_cast<double>(with.stats.cycles);
-        t.row({name, fmtCount(with.stats.cycles),
+        t.row({names[n], fmtCount(with.stats.cycles),
                fmtCount(without.stats.cycles),
                fmtDouble(speedup) + "x",
                fmtPercent(with.errorOf(with.technique("TEA"))),

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -27,8 +28,12 @@ main()
     t.header({"benchmark", "event uops", "combined share",
               "event-free stall p99 (cycles)", "golden coverage"});
 
-    for (const std::string &name : workloads::suiteNames()) {
-        ExperimentResult res = runBenchmark(name, {});
+    std::vector<std::string> names = workloads::suiteNames();
+    std::vector<ExperimentResult> runs =
+        runBenchmarkSuite(names, {}, RunnerOptions::fromEnv());
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const std::string &name = names[n];
+        const ExperimentResult &res = runs[n];
         with_events += res.stats.uopsWithEvents;
         with_combined += res.stats.uopsWithCombined;
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -30,9 +31,8 @@ main()
                            Event::FlEx,  Event::FlMo,  Event::DrSq};
 
     std::vector<std::string> names = workloads::suiteNames();
-    std::vector<ExperimentResult> runs;
-    for (const std::string &name : names)
-        runs.push_back(runBenchmark(name, {}));
+    std::vector<ExperimentResult> runs = runBenchmarkSuite(
+        names, {}, RunnerOptions::fromEnv());
 
     Table t;
     t.header({"PSV bits", "event set adds", "explained event cycles",

@@ -12,7 +12,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/report.hh"
 #include "analysis/runner.hh"
 
@@ -21,11 +23,14 @@ using namespace tea;
 int
 main()
 {
-    const char *benchmarks[] = {"bwaves", "omnetpp", "fotonik3d",
-                                "exchange2"};
-    for (const char *name : benchmarks) {
-        ExperimentResult res =
-            runBenchmark(name, {ibsConfig(), teaConfig()});
+    std::vector<std::string> benchmarks = {"bwaves", "omnetpp",
+                                           "fotonik3d", "exchange2"};
+    std::vector<ExperimentResult> all =
+        runBenchmarkSuite(benchmarks, {ibsConfig(), teaConfig()},
+                          RunnerOptions::fromEnv());
+    for (std::size_t n = 0; n < benchmarks.size(); ++n) {
+        const char *name = benchmarks[n].c_str();
+        ExperimentResult &res = all[n];
         const TechniqueResult &tea = res.technique("TEA");
         const TechniqueResult &ibs = res.technique("IBS");
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -25,8 +26,9 @@ int
 main()
 {
     std::array<std::vector<double>, numEvents> rs;
-    for (const std::string &name : workloads::suiteNames()) {
-        ExperimentResult res = runBenchmark(name, {});
+    std::vector<ExperimentResult> runs = runBenchmarkSuite(
+        workloads::suiteNames(), {}, RunnerOptions::fromEnv());
+    for (const ExperimentResult &res : runs) {
         auto corr = eventImpactCorrelation(*res.golden);
         for (unsigned e = 0; e < numEvents; ++e) {
             if (corr[e].valid)

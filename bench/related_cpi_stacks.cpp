@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "analysis/cpi_stack.hh"
+#include "analysis/parallel_runner.hh"
 #include "analysis/runner.hh"
 #include "common/table.hh"
 
@@ -22,8 +23,13 @@ main()
     Table t;
     t.header({"benchmark", "CPI", "top-down verdict",
               "instructions holding 80% of time"});
-    for (const std::string &name : workloads::suiteNames()) {
-        ExperimentResult res = runBenchmark(name, {});
+    RunnerOptions opts = RunnerOptions::fromEnv();
+    std::vector<std::string> names = workloads::suiteNames();
+    std::vector<ExperimentResult> runs =
+        runBenchmarkSuite(names, {}, opts);
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const std::string &name = names[n];
+        const ExperimentResult &res = runs[n];
         CpiStack cpi = cpiStackFrom(*res.golden, res.stats);
         TopDown td = topDownFrom(res.stats);
 
@@ -46,7 +52,7 @@ main()
 
     std::puts("\nlbm in detail -- the CPI stack knows the time goes to "
               "LLC misses but not to which instruction:");
-    ExperimentResult lbm = runBenchmark("lbm", {});
+    ExperimentResult lbm = runBenchmark("lbm", {}, opts);
     CpiStack cpi = cpiStackFrom(*lbm.golden, lbm.stats);
     std::fputs(cpi.render().c_str(), stdout);
     std::printf("top-down: %s\n",

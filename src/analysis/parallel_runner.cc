@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <thread>
 
+#include "analysis/trace_cache.hh"
 #include "common/chunk_queue.hh"
 #include "common/logging.hh"
+#include "core/trace_io.hh"
 
 namespace tea {
 
@@ -53,13 +55,14 @@ RunnerOptions::fromEnv()
         envCount("TEA_QUEUE_CHUNKS", opts.queueChunks));
     tea_assert(opts.chunkEvents >= 1, "TEA_CHUNK_EVENTS must be >= 1");
     tea_assert(opts.queueChunks >= 1, "TEA_QUEUE_CHUNKS must be >= 1");
+    opts.cache = TraceCacheOptions::fromEnv();
     return opts;
 }
 
 ReplayStats
-replayThroughPool(const std::vector<SinkGroup> &groups,
-                  const RunnerOptions &opts,
-                  const std::function<void(TraceSink &)> &produce)
+replayChunksThroughPool(const std::vector<SinkGroup> &groups,
+                        const RunnerOptions &opts,
+                        const std::function<void(const ChunkPush &)> &pump)
 {
     ReplayStats stats;
     const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
@@ -103,43 +106,62 @@ replayThroughPool(const std::vector<SinkGroup> &groups,
     }
 
     const auto start = Clock::now();
-    {
-        ChunkingSink sink(opts.chunkEvents, [&](TraceChunkPtr c) {
-            queue.push(std::move(c));
-        });
-        produce(sink);
-        sink.finish();
-        stats.chunksProduced = sink.chunksEmitted();
-        stats.eventsCaptured = sink.eventsCaptured();
-    }
+    pump([&](TraceChunkPtr c) {
+        ++stats.chunksProduced;
+        stats.eventsCaptured += c->events.size();
+        queue.push(std::move(c));
+    });
     stats.simulateSeconds = secondsSince(start);
     queue.close();
     for (std::thread &t : pool)
         t.join();
     stats.totalSeconds = secondsSince(start);
     stats.queueFullStalls = queue.fullWaits();
+    for (const ReplayWorkerStats &ws : stats.workers)
+        stats.replaySeconds = std::max(stats.replaySeconds,
+                                       ws.replaySeconds);
     return stats;
+}
+
+ReplayStats
+replayThroughPool(const std::vector<SinkGroup> &groups,
+                  const RunnerOptions &opts,
+                  const std::function<void(TraceSink &)> &produce)
+{
+    return replayChunksThroughPool(
+        groups, opts, [&](const ChunkPush &push) {
+            ChunkingSink sink(opts.chunkEvents, [&](TraceChunkPtr c) {
+                push(std::move(c));
+            });
+            produce(sink);
+            sink.finish();
+        });
 }
 
 ExperimentResult
 runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             const RunnerOptions &opts, const CoreConfig &cfg)
 {
-    if (opts.threads <= 1) {
-        // Serial path: observers attached directly to the live core,
-        // bit-for-bit the historical behaviour.
+    TraceCache cache(opts.cache);
+    if (!cache.enabled() && opts.threads <= 1) {
+        // Serial path without caching: observers attached directly to
+        // the live core, bit-for-bit the historical behaviour.
         return runWorkload(std::move(workload), std::move(techniques),
                            cfg);
     }
 
+    const auto start = Clock::now();
     ExperimentResult res;
     res.name = workload.program.name();
     res.golden = std::make_unique<GoldenReference>();
+    res.golden->reserveCells(workload.program.size());
 
     std::vector<std::unique_ptr<TechniqueSampler>> samplers;
     samplers.reserve(techniques.size());
-    for (SamplerConfig &tc : techniques)
+    for (SamplerConfig &tc : techniques) {
         samplers.push_back(std::make_unique<TechniqueSampler>(tc));
+        samplers.back()->reserveCells(workload.program.size());
+    }
 
     // One observer group per technique plus the golden reference: the
     // unit of replay parallelism.
@@ -149,19 +171,108 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     for (auto &s : samplers)
         groups.push_back(SinkGroup{{s.get()}});
 
-    Core core(cfg, workload.program, std::move(workload.initial));
-    res.replay = replayThroughPool(groups, opts, [&](TraceSink &sink) {
-        core.addSink(&sink);
-        core.run();
-    });
+    // Cache lookup: the fingerprint keys on workload content, the full
+    // config and the codec version, so a hit is guaranteed to replay
+    // the exact trace a fresh simulation would produce.
+    std::uint64_t fp = 0;
+    std::string entry;
+    std::unique_ptr<MappedTraceFile> mapped;
+    if (cache.enabled()) {
+        fp = TraceCache::fingerprintOf(workload, cfg);
+        entry = cache.entryPath(res.name, fp);
+        mapped = cache.openEntry(entry, fp);
+    }
 
-    res.stats = core.stats();
+    if (mapped) {
+        // Hit: no core is built at all; the trace streams out of the
+        // mapping and the recorded CoreStats stand in for core.stats().
+        if (opts.threads <= 1) {
+            std::vector<TraceSink *> sinks;
+            for (const SinkGroup &g : groups)
+                sinks.insert(sinks.end(), g.sinks.begin(),
+                             g.sinks.end());
+            for (;;) {
+                const auto t0 = Clock::now();
+                TraceChunkPtr chunk = mapped->nextChunk();
+                res.replay.decodeSeconds += secondsSince(t0);
+                if (!chunk)
+                    break;
+                const auto t1 = Clock::now();
+                replayChunk(*chunk, sinks);
+                res.replay.replaySeconds += secondsSince(t1);
+                ++res.replay.chunksProduced;
+                res.replay.eventsCaptured += chunk->events.size();
+            }
+        } else {
+            res.replay = replayChunksThroughPool(
+                groups, opts, [&](const ChunkPush &push) {
+                    while (TraceChunkPtr c = mapped->nextChunk())
+                        push(std::move(c));
+                });
+            // The producer span was spent decoding, not simulating.
+            res.replay.decodeSeconds = res.replay.simulateSeconds;
+            res.replay.simulateSeconds = 0.0;
+        }
+        res.stats = mapped->coreStats();
+        res.replay.cacheHit = true;
+        res.replay.cacheBytes = mapped->fileBytes();
+    } else {
+        // Miss (or caching off): simulate, teeing the chunk stream into
+        // the cache writer so the next run with this fingerprint hits.
+        std::unique_ptr<CompactTraceWriter> writer;
+        if (cache.enabled())
+            writer = std::make_unique<CompactTraceWriter>(entry, fp);
+
+        Core core(cfg, workload.program, std::move(workload.initial));
+        if (opts.threads <= 1) {
+            for (const SinkGroup &g : groups) {
+                for (TraceSink *s : g.sinks)
+                    core.addSink(s);
+            }
+            std::unique_ptr<ChunkingSink> tee;
+            if (writer) {
+                tee = std::make_unique<ChunkingSink>(
+                    opts.chunkEvents, [&](TraceChunkPtr c) {
+                        writer->writeChunk(*c);
+                    });
+                core.addSink(tee.get());
+            }
+            const auto t0 = Clock::now();
+            core.run();
+            res.replay.simulateSeconds = secondsSince(t0);
+            if (tee) {
+                tee->finish();
+                res.replay.chunksProduced = tee->chunksEmitted();
+                res.replay.eventsCaptured = tee->eventsCaptured();
+            }
+        } else {
+            res.replay = replayChunksThroughPool(
+                groups, opts, [&](const ChunkPush &push) {
+                    ChunkingSink sink(opts.chunkEvents,
+                                      [&](TraceChunkPtr c) {
+                                          if (writer)
+                                              writer->writeChunk(*c);
+                                          push(std::move(c));
+                                      });
+                    core.addSink(&sink);
+                    core.run();
+                    sink.finish();
+                });
+        }
+        res.stats = core.stats();
+        if (writer) {
+            res.replay.cacheStored = writer->commit(core.stats());
+            res.replay.cacheBytes = writer->bytesWritten();
+        }
+    }
+
     for (auto &s : samplers) {
         res.techniques.push_back(TechniqueResult{
             s->config(), s->pics(), s->samplesTaken(),
             s->samplesDropped()});
     }
     res.program = std::move(workload.program);
+    res.replay.totalSeconds = secondsSince(start);
     return res;
 }
 
@@ -181,9 +292,15 @@ runBenchmarkSuite(const std::vector<std::string> &names,
     std::vector<ExperimentResult> results(names.size());
     const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
         1, std::min<std::size_t>(opts.threads, names.size())));
+    // Each experiment runs the serial in-process path (fully
+    // independent, bit-identical result) but keeps the caller's
+    // trace-cache settings: a warm cache turns the whole suite into
+    // parallel decode-and-replay with no simulation at all.
+    RunnerOptions inner = opts;
+    inner.threads = 1;
     if (workers <= 1) {
         for (std::size_t i = 0; i < names.size(); ++i)
-            results[i] = runBenchmark(names[i], techniques, cfg);
+            results[i] = runBenchmark(names[i], techniques, inner, cfg);
         return results;
     }
 
@@ -194,9 +311,8 @@ runBenchmarkSuite(const std::vector<std::string> &names,
         pool.emplace_back([&] {
             for (std::size_t i = next.fetch_add(1); i < names.size();
                  i = next.fetch_add(1)) {
-                // Each experiment is the serial in-process path:
-                // fully independent simulation, bit-identical result.
-                results[i] = runBenchmark(names[i], techniques, cfg);
+                results[i] = runBenchmark(names[i], techniques, inner,
+                                          cfg);
             }
         });
     }

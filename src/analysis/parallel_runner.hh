@@ -40,17 +40,35 @@ struct SinkGroup
     std::vector<TraceSink *> sinks;
 };
 
+/** Callback that hands one finished chunk to the replay pool. */
+using ChunkPush = std::function<void(TraceChunkPtr)>;
+
 /**
- * Replay worker pool: broadcasts chunks produced by @c produce to
- * min(threads, groups) workers, each driving a round-robin share of
- * @p groups. Blocks until the producer finishes and all workers drain.
+ * Core of the replay engine: broadcasts every chunk handed to the push
+ * callback to min(threads, groups) workers, each driving a round-robin
+ * share of @p groups. Blocks until @p pump returns and all workers
+ * drain. The chunk source is abstract so three producers share one
+ * engine: a live simulation (replayThroughPool), a simulation teeing
+ * into a trace-cache writer, and a memory-mapped cached trace being
+ * decoded (no simulation at all).
  *
  * @param groups observer groups (each replayed in-order on one worker)
  * @param opts thread count / chunking / backpressure knobs
- * @param produce called with a ChunkingSink-compatible TraceSink; must
- *        generate the full trace into it (typically by running a Core
- *        with the sink attached)
- * @return counters describing the run (workers, stalls, throughput)
+ * @param pump called once with the push callback; must deliver every
+ *        chunk of the trace through it, in capture order
+ * @return counters describing the run; simulateSeconds holds the time
+ *         spent inside @p pump, replaySeconds the slowest worker
+ */
+ReplayStats replayChunksThroughPool(
+    const std::vector<SinkGroup> &groups, const RunnerOptions &opts,
+    const std::function<void(const ChunkPush &)> &pump);
+
+/**
+ * Replay worker pool fed by a live producer: wraps @p produce's sink in
+ * a ChunkingSink and pumps the chunks through replayChunksThroughPool.
+ *
+ * @param produce called with a TraceSink; must generate the full trace
+ *        into it (typically by running a Core with the sink attached)
  */
 ReplayStats replayThroughPool(
     const std::vector<SinkGroup> &groups, const RunnerOptions &opts,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/trace_cache.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "profilers/golden.hh"
@@ -48,9 +49,18 @@ struct RunnerOptions
     std::size_t queueChunks = 16;   ///< chunks in flight before backpressure
 
     /**
+     * Persistent trace cache (analysis/trace_cache): when enabled, a
+     * (workload, config) pair is simulated at most once; later runs
+     * replay the cached on-disk trace through the observers instead of
+     * re-simulating, with bit-identical results.
+     */
+    TraceCacheOptions cache;
+
+    /**
      * Options from the environment: TEA_THREADS (default 1),
-     * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS. TEA_THREADS=0 means "one
-     * worker per hardware thread".
+     * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, and the trace-cache controls
+     * TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see TraceCacheOptions).
+     * TEA_THREADS=0 means "one worker per hardware thread".
      */
     static RunnerOptions fromEnv();
 };

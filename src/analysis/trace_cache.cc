@@ -1,0 +1,171 @@
+#include "analysis/trace_cache.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "core/trace_codec.hh"
+
+namespace tea {
+
+namespace {
+
+std::string
+defaultCacheDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    if (base.back() == '/')
+        base.pop_back();
+    return base + "/tea-trace-cache";
+}
+
+/**
+ * mkdir -p: create @p dir and any missing parents. Returns false (with
+ * errno set) on the first failure other than "already exists".
+ */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string path;
+    path.reserve(dir.size());
+    std::size_t i = 0;
+    while (i < dir.size()) {
+        std::size_t slash = dir.find('/', i + 1);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        path.assign(dir, 0, slash);
+        i = slash;
+        if (path.empty())
+            continue;
+        if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+/** Keep entry names shell- and filesystem-safe. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty())
+        out = "workload";
+    return out;
+}
+
+} // namespace
+
+TraceCacheOptions
+TraceCacheOptions::fromEnv()
+{
+    TraceCacheOptions opts;
+    if (const char *dir = std::getenv("TEA_TRACE_CACHE_DIR");
+        dir != nullptr && *dir != '\0') {
+        opts.enabled = true;
+        opts.dir = dir;
+    }
+    if (const char *env = std::getenv("TEA_TRACE_CACHE");
+        env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "0") == 0) {
+            opts.enabled = false;
+        } else if (std::strcmp(env, "1") == 0) {
+            opts.enabled = true;
+        } else {
+            tea_fatal("TEA_TRACE_CACHE must be 0 or 1, got \"%s\"", env);
+        }
+    }
+    if (opts.enabled && opts.dir.empty())
+        opts.dir = defaultCacheDir();
+    return opts;
+}
+
+TraceCache::TraceCache(TraceCacheOptions opts) : opts_(std::move(opts))
+{
+    if (!opts_.enabled)
+        return;
+    if (opts_.dir.empty() || !makeDirs(opts_.dir)) {
+        tea_warn("trace cache: cannot create directory \"%s\" (%s); "
+                 "caching disabled",
+                 opts_.dir.c_str(), std::strerror(errno));
+        opts_.enabled = false;
+    }
+}
+
+std::uint64_t
+TraceCache::fingerprintOf(const Workload &workload, const CoreConfig &cfg)
+{
+    Fnv1a h;
+    h.add(std::uint64_t{traceCodecVersion});
+
+    // Program: every static instruction plus the code layout that the
+    // I-side timing model sees.
+    const Program &prog = workload.program;
+    h.add(prog.name());
+    h.add(prog.codeBase());
+    h.add(std::uint64_t{prog.entry()});
+    h.add(std::uint64_t{prog.size()});
+    for (const StaticInst &inst : prog.insts()) {
+        h.add(static_cast<std::uint64_t>(inst.op));
+        h.add(std::uint64_t{inst.rd});
+        h.add(std::uint64_t{inst.rs1});
+        h.add(std::uint64_t{inst.rs2});
+        h.addSigned(inst.imm);
+        h.add(std::uint64_t{inst.target});
+    }
+    // Symbols affect nothing in the trace itself but are cheap to hash
+    // and keep PSV/function attribution honest if they ever do.
+    for (const Symbol &sym : prog.functions()) {
+        h.add(sym.name);
+        h.add(std::uint64_t{sym.begin});
+        h.add(std::uint64_t{sym.end});
+    }
+
+    // Initial architectural state.
+    for (std::uint64_t r : workload.initial.regs)
+        h.add(r);
+    h.add(workload.initial.mem.contentHash());
+
+    hashConfig(h, cfg);
+    return h.value();
+}
+
+std::string
+TraceCache::entryPath(const std::string &name, std::uint64_t fp) const
+{
+    return opts_.dir + "/" + sanitizeName(name) + "-" + hashHex(fp) +
+           ".teatrc";
+}
+
+std::unique_ptr<MappedTraceFile>
+TraceCache::openEntry(const std::string &path, std::uint64_t fp) const
+{
+    if (!opts_.enabled)
+        return nullptr;
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) != 0)
+        return nullptr; // plain miss: nothing cached yet
+    std::string why;
+    auto mapped = MappedTraceFile::open(path, fp, &why);
+    if (mapped == nullptr && !why.empty()) {
+        // A reason means the file existed but failed validation
+        // (corruption, truncation, stale codec/fingerprint) — worth a
+        // warning; a plain miss is silent.
+        tea_warn("trace cache: discarding entry %s: %s", path.c_str(),
+                 why.c_str());
+    }
+    return mapped;
+}
+
+} // namespace tea

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Persistent trace cache: simulate each (workload, CoreConfig) pair
+ * once, keep its full cycle trace on disk in the compact chunked format
+ * (core/trace_io, core/trace_codec), and satisfy every later run of the
+ * same pair by memory-mapping the cached file and replaying it —
+ * techniques are pure observers (TEA §4), so a cached trace answers any
+ * set of them, at any thread count, bit-identically.
+ *
+ * Entries are keyed by a content fingerprint of the workload (program
+ * instructions, symbols, initial architectural state), the complete
+ * CoreConfig, and the codec version — never by name alone, so two
+ * workloads that share a name but differ in parameters (e.g. lbm with
+ * different prefetch distances) can never alias. Stale, truncated or
+ * corrupted entries fail validation on open and are transparently
+ * re-simulated and rewritten via atomic rename.
+ */
+
+#ifndef TEA_ANALYSIS_TRACE_CACHE_HH
+#define TEA_ANALYSIS_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.hh"
+#include "core/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+
+/** Where (and whether) traces are cached. */
+struct TraceCacheOptions
+{
+    bool enabled = false; ///< off unless explicitly requested
+    std::string dir;      ///< cache directory (created on first use)
+
+    /**
+     * Controls from the environment:
+     *  - TEA_TRACE_CACHE_DIR=<dir> enables caching into <dir>;
+     *  - TEA_TRACE_CACHE=1 enables it into
+     *    ${TMPDIR:-/tmp}/tea-trace-cache when no dir is given;
+     *  - TEA_TRACE_CACHE=0 forces it off regardless.
+     */
+    static TraceCacheOptions fromEnv();
+};
+
+/**
+ * One cache directory. Construction creates the directory (disabling
+ * the cache with a warning on failure); all subsequent operations are
+ * best-effort and never fatal — a broken cache degrades to simulating.
+ */
+class TraceCache
+{
+  public:
+    explicit TraceCache(TraceCacheOptions opts);
+
+    bool enabled() const { return opts_.enabled; }
+
+    /**
+     * Content fingerprint of a (workload, config) pair under the
+     * current codec version.
+     */
+    static std::uint64_t fingerprintOf(const Workload &workload,
+                                       const CoreConfig &cfg);
+
+    /** Path of the entry for @p name with fingerprint @p fp. */
+    std::string entryPath(const std::string &name,
+                          std::uint64_t fp) const;
+
+    /**
+     * Open and fully validate the entry at @p path. Returns nullptr on
+     * miss; a *damaged* entry (as opposed to a simply absent one)
+     * additionally logs a warning naming the reason before falling
+     * back.
+     */
+    std::unique_ptr<MappedTraceFile>
+    openEntry(const std::string &path, std::uint64_t fp) const;
+
+  private:
+    TraceCacheOptions opts_;
+};
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_TRACE_CACHE_HH

@@ -1,0 +1,44 @@
+#include "common/fingerprint.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+namespace {
+
+/** CRC-32 lookup table for polynomial 0xEDB88320, built once. */
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t bytes)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < bytes; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string
+hashHex(std::uint64_t h)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(h));
+}
+
+} // namespace tea

@@ -134,20 +134,32 @@ std::string
 ReplayStats::render() const
 {
     std::string out;
+    const char *source = cacheHit ? "trace cache" : "simulation";
     if (!parallel()) {
-        out += strprintf("replay: serial in-process path "
+        out += strprintf("replay: serial in-process path from %s "
                          "(%.3f s total)\n",
-                         totalSeconds);
-        return out;
+                         source, totalSeconds);
+        out += strprintf("  simulate %.3f s, decode %.3f s, replay %.3f s\n",
+                         simulateSeconds, decodeSeconds, replaySeconds);
+    } else {
+        out += strprintf(
+            "replay: %u worker(s) from %s, %llu chunk(s), %llu event(s), "
+            "%llu producer queue-full stall(s)\n",
+            threads, source,
+            static_cast<unsigned long long>(chunksProduced),
+            static_cast<unsigned long long>(eventsCaptured),
+            static_cast<unsigned long long>(queueFullStalls));
+        out += strprintf(
+            "  simulate %.3f s, decode %.3f s, replay %.3f s, "
+            "total %.3f s\n",
+            simulateSeconds, decodeSeconds, replaySeconds, totalSeconds);
     }
-    out += strprintf(
-        "replay: %u worker(s), %llu chunk(s), %llu event(s), "
-        "%llu producer queue-full stall(s)\n",
-        threads, static_cast<unsigned long long>(chunksProduced),
-        static_cast<unsigned long long>(eventsCaptured),
-        static_cast<unsigned long long>(queueFullStalls));
-    out += strprintf("  simulate %.3f s, total %.3f s\n", simulateSeconds,
-                     totalSeconds);
+    if (cacheHit || cacheStored)
+        out += strprintf("  cache: %s, %llu byte(s) on disk\n",
+                         cacheHit ? "hit" : "miss (entry stored)",
+                         static_cast<unsigned long long>(cacheBytes));
+    if (!parallel())
+        return out;
     for (const ReplayWorkerStats &w : workers) {
         out += strprintf(
             "  worker %u: %u group(s), %llu chunk(s), %llu event(s), "

@@ -114,9 +114,16 @@ struct ReplayStats
     std::uint64_t chunksProduced = 0;
     std::uint64_t eventsCaptured = 0;
     std::uint64_t queueFullStalls = 0; ///< producer-side backpressure hits
-    double simulateSeconds = 0.0;      ///< producer (simulation) wall time
-    double totalSeconds = 0.0;         ///< simulate + drain wall time
+    double simulateSeconds = 0.0;      ///< core-model simulation wall time
+    double totalSeconds = 0.0;         ///< whole-experiment wall time
     std::vector<ReplayWorkerStats> workers;
+
+    // Trace-cache counters (see analysis/trace_cache).
+    bool cacheHit = false;      ///< trace came from the persistent cache
+    bool cacheStored = false;   ///< this run published a new cache entry
+    std::uint64_t cacheBytes = 0; ///< on-disk size of the entry used/made
+    double decodeSeconds = 0.0; ///< producer wall time decoding cached chunks
+    double replaySeconds = 0.0; ///< observer wall time (max across workers)
 
     /** True when this run went through the threaded replay path. */
     bool parallel() const { return threads > 0; }

@@ -109,17 +109,34 @@ CacheArray::invalidate(Addr line)
         w->valid = false;
 }
 
-MshrFile::MshrFile(unsigned entries) : entries_(entries) {}
+MshrFile::MshrFile(unsigned entries) : entries_(entries)
+{
+    pending_.reserve(entries);
+}
 
 void
 MshrFile::prune(Cycle now)
 {
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->second <= now)
-            it = pending_.erase(it);
-        else
-            ++it;
+    // Swap-erase: order carries no meaning, so completed fills are
+    // replaced by the tail entry instead of shifting the array.
+    for (std::size_t i = 0; i < pending_.size();) {
+        if (pending_[i].fill <= now) {
+            pending_[i] = pending_.back();
+            pending_.pop_back();
+        } else {
+            ++i;
+        }
     }
+}
+
+MshrFile::Pending *
+MshrFile::find(Addr line)
+{
+    for (Pending &p : pending_) {
+        if (p.line == line)
+            return &p;
+    }
+    return nullptr;
 }
 
 Cycle
@@ -129,27 +146,26 @@ MshrFile::allocatableAt(Cycle now)
     if (pending_.size() < entries_)
         return now;
     Cycle earliest = invalidCycle;
-    for (const auto &[line, fill] : pending_)
-        earliest = std::min(earliest, fill);
+    for (const Pending &p : pending_)
+        earliest = std::min(earliest, p.fill);
     return earliest;
 }
 
 void
 MshrFile::allocate(Addr line, Cycle fill)
 {
-    auto it = pending_.find(line);
-    if (it == pending_.end())
-        pending_.emplace(line, fill);
+    if (Pending *p = find(line))
+        p->fill = std::min(p->fill, fill);
     else
-        it->second = std::min(it->second, fill);
+        pending_.push_back(Pending{line, fill});
 }
 
 Cycle
 MshrFile::outstandingFill(Addr line, Cycle now)
 {
     prune(now);
-    auto it = pending_.find(line);
-    return it == pending_.end() ? invalidCycle : it->second;
+    Pending *p = find(line);
+    return p == nullptr ? invalidCycle : p->fill;
 }
 
 unsigned

@@ -8,7 +8,6 @@
 #define TEA_CORE_CACHE_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -106,10 +105,24 @@ class MshrFile
     unsigned inFlight(Cycle now);
 
   private:
+    /** One outstanding line fill. */
+    struct Pending
+    {
+        Addr line = 0;
+        Cycle fill = 0;
+    };
+
     void prune(Cycle now);
+    Pending *find(Addr line);
 
     unsigned entries_;
-    std::map<Addr, Cycle> pending_; ///< line -> fill cycle
+    /**
+     * Outstanding fills, unordered. Bounded by entries_ (a handful to a
+     * few dozen), and probed on every cache access, so a flat array with
+     * linear scans beats a node-based map: no allocation per miss, and
+     * the whole file fits in one or two cache lines.
+     */
+    std::vector<Pending> pending_;
 };
 
 } // namespace tea

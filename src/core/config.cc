@@ -1,5 +1,6 @@
 #include "core/config.hh"
 
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
 
 namespace tea {
@@ -46,6 +47,63 @@ CoreConfig::describe() const
         "Memory    %u-cycle latency, 1 line / %u cycles bandwidth\n",
         dramLatency, dramInterval);
     return out;
+}
+
+namespace {
+
+void
+hashCache(Fnv1a &h, const CacheConfig &c)
+{
+    h.add(c.sizeBytes);
+    h.add(c.ways);
+    h.add(c.mshrs);
+    h.add(c.hitLatency);
+}
+
+} // namespace
+
+void
+hashConfig(Fnv1a &h, const CoreConfig &cfg)
+{
+    h.add(cfg.fetchWidth);
+    h.add(cfg.decodeWidth);
+    h.add(cfg.dispatchWidth);
+    h.add(cfg.commitWidth);
+    h.add(cfg.fetchBufferEntries);
+    h.add(cfg.decodeLatency);
+    h.add(cfg.redirectPenalty);
+    h.add(static_cast<std::uint64_t>(cfg.predictor));
+    h.add(cfg.bpHistoryBits);
+    h.add(cfg.bpTableEntries);
+    h.add(cfg.robEntries);
+    h.add(cfg.intIqEntries);
+    h.add(cfg.intIssueWidth);
+    h.add(cfg.memIqEntries);
+    h.add(cfg.memIssueWidth);
+    h.add(cfg.fpIqEntries);
+    h.add(cfg.fpIssueWidth);
+    h.add(cfg.lqEntries);
+    h.add(cfg.sqEntries);
+    h.add(cfg.intMulLatency);
+    h.add(cfg.intDivLatency);
+    h.add(cfg.fpAluLatency);
+    h.add(cfg.fpDivLatency);
+    h.add(cfg.fpSqrtLatency);
+    h.add(cfg.forwardLatency);
+    h.add(cfg.moReplayPenalty);
+    h.add(cfg.storeSetClearInterval);
+    h.add(cfg.samplingInterruptPeriod);
+    h.add(cfg.samplingHandlerCycles);
+    hashCache(h, cfg.l1i);
+    hashCache(h, cfg.l1d);
+    hashCache(h, cfg.llc);
+    h.add(static_cast<std::uint64_t>(cfg.nextLinePrefetcher));
+    h.add(cfg.dramLatency);
+    h.add(cfg.dramInterval);
+    h.add(cfg.tlb.l1Entries);
+    h.add(cfg.tlb.l2Entries);
+    h.add(cfg.tlb.l2HitLatency);
+    h.add(cfg.tlb.walkLatency);
 }
 
 } // namespace tea

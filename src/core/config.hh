@@ -111,6 +111,17 @@ struct CoreConfig
     std::string describe() const;
 };
 
+class Fnv1a;
+
+/**
+ * Feed every timing-relevant field of @p cfg into @p h, field by field
+ * (padding-free, so the value is stable across builds). Any new
+ * CoreConfig field MUST be added here — the trace cache keys entries on
+ * this hash, and a missed field would let a stale trace satisfy a run
+ * with a different configuration.
+ */
+void hashConfig(Fnv1a &h, const CoreConfig &cfg);
+
 } // namespace tea
 
 #endif // TEA_CORE_CONFIG_HH

@@ -4,6 +4,49 @@
 
 namespace tea {
 
+bool
+eventsEquivalent(const TraceEvent &a, const TraceEvent &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case TraceEventKind::Cycle: {
+        const CycleRecord &x = a.p.cycle;
+        const CycleRecord &y = b.p.cycle;
+        if (x.cycle != y.cycle || x.state != y.state ||
+            x.numCommitted != y.numCommitted ||
+            x.headValid != y.headValid || x.lastValid != y.lastValid)
+            return false;
+        if (x.headValid &&
+            (x.headSeq != y.headSeq || x.headPc != y.headPc))
+            return false;
+        if (x.lastValid &&
+            (x.lastPc != y.lastPc || x.lastPsv != y.lastPsv))
+            return false;
+        for (unsigned i = 0; i < x.numCommitted; ++i) {
+            if (x.committed[i].seq != y.committed[i].seq ||
+                x.committed[i].pc != y.committed[i].pc ||
+                x.committed[i].psv != y.committed[i].psv)
+                return false;
+        }
+        return true;
+      }
+      case TraceEventKind::Dispatch:
+      case TraceEventKind::Fetch:
+        return a.p.uop.seq == b.p.uop.seq &&
+               a.p.uop.pc == b.p.uop.pc &&
+               a.p.uop.cycle == b.p.uop.cycle;
+      case TraceEventKind::Retire:
+        return a.p.retire.seq == b.p.retire.seq &&
+               a.p.retire.pc == b.p.retire.pc &&
+               a.p.retire.psv == b.p.retire.psv &&
+               a.p.retire.cycle == b.p.retire.cycle;
+      case TraceEventKind::End:
+        return a.p.end == b.p.end;
+    }
+    return false;
+}
+
 void
 deliverEvent(const TraceEvent &ev, TraceSink &sink)
 {

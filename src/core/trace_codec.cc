@@ -1,0 +1,426 @@
+#include "core/trace_codec.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+
+namespace tea {
+
+namespace {
+
+/**
+ * The field streams of one frame, in on-disk order. Each stream holds
+ * one field of one event kind across the whole chunk (SoA), so runs of
+ * similar values sit together and delta-varint coding stays tight.
+ */
+enum Stream : unsigned
+{
+    CycDelta = 0, ///< CycleRecord.cycle (zigzag delta)
+    CycFlags,     ///< packed state/numCommitted/headValid/lastValid
+    HeadSeq,      ///< headSeq, present iff headValid (zigzag delta)
+    HeadPc,       ///< headPc, present iff headValid (zigzag delta)
+    LastPc,       ///< lastPc, present iff lastValid (zigzag delta)
+    LastPsv,      ///< lastPsv bits, present iff lastValid (varint)
+    ComSeq,       ///< committed[i].seq (zigzag delta)
+    ComPc,        ///< committed[i].pc (zigzag delta)
+    ComPsv,       ///< committed[i].psv bits (varint)
+    DispSeq,      ///< dispatch seq (zigzag delta)
+    DispPc,       ///< dispatch pc (zigzag delta)
+    DispCycle,    ///< dispatch cycle (zigzag delta)
+    FetchSeq,
+    FetchPc,
+    FetchCycle,
+    RetSeq,
+    RetPc,
+    RetPsv,
+    RetCycle,
+    EndCycle, ///< final cycle of End events (varint)
+    NumStreams,
+};
+
+// CycFlags packing: 2 bits state, 4 bits numCommitted (<= 8), then the
+// two validity flags.
+constexpr unsigned flagStateShift = 6;
+constexpr unsigned flagCountShift = 2;
+constexpr unsigned flagHeadValid = 0x2;
+constexpr unsigned flagLastValid = 0x1;
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::int64_t d)
+{
+    return (static_cast<std::uint64_t>(d) << 1) ^
+           static_cast<std::uint64_t>(d >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t z)
+{
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+/** Per-stream delta encoder state (reset at every frame). */
+struct DeltaState
+{
+    std::uint64_t prev = 0;
+
+    std::uint64_t
+    encode(std::uint64_t v)
+    {
+        std::uint64_t z = zigzag(static_cast<std::int64_t>(v - prev));
+        prev = v;
+        return z;
+    }
+
+    std::uint64_t
+    decode(std::uint64_t z)
+    {
+        prev += static_cast<std::uint64_t>(unzigzag(z));
+        return prev;
+    }
+};
+
+/** Bounds-checked reader over one stream of a mapped frame. */
+struct Cursor
+{
+    const std::uint8_t *p = nullptr;
+    const std::uint8_t *end = nullptr;
+
+    bool exhausted() const { return p == end; }
+
+    bool
+    readByte(std::uint8_t *v)
+    {
+        if (p >= end)
+            return false;
+        *v = *p++;
+        return true;
+    }
+
+    bool
+    readVarint(std::uint64_t *v)
+    {
+        std::uint64_t out = 0;
+        unsigned shift = 0;
+        while (p < end && shift < 64) {
+            std::uint8_t b = *p++;
+            out |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+            if (!(b & 0x80u)) {
+                *v = out;
+                return true;
+            }
+            shift += 7;
+        }
+        return false; // truncated or > 64-bit varint
+    }
+};
+
+bool
+fail(std::string *why, const char *msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+} // namespace
+
+void
+encodeChunk(const TraceChunk &chunk, std::vector<std::uint8_t> &out)
+{
+    std::array<std::vector<std::uint8_t>, NumStreams> streams;
+    DeltaState cycD, headSeqD, headPcD, lastPcD, comSeqD, comPcD;
+    DeltaState dispSeqD, dispPcD, dispCycD, fetchSeqD, fetchPcD,
+        fetchCycD, retSeqD, retPcD, retCycD;
+
+    std::vector<std::uint8_t> kinds;
+    kinds.reserve(chunk.events.size());
+
+    for (const TraceEvent &ev : chunk.events) {
+        kinds.push_back(static_cast<std::uint8_t>(ev.kind));
+        switch (ev.kind) {
+          case TraceEventKind::Cycle: {
+            const CycleRecord &r = ev.p.cycle;
+            tea_assert(r.numCommitted <= r.committed.size(),
+                       "numCommitted %u overflows the committed array",
+                       r.numCommitted);
+            putVarint(streams[CycDelta], cycD.encode(r.cycle));
+            std::uint8_t flags = static_cast<std::uint8_t>(
+                (static_cast<unsigned>(r.state) << flagStateShift) |
+                (static_cast<unsigned>(r.numCommitted)
+                 << flagCountShift) |
+                (r.headValid ? flagHeadValid : 0u) |
+                (r.lastValid ? flagLastValid : 0u));
+            streams[CycFlags].push_back(flags);
+            if (r.headValid) {
+                putVarint(streams[HeadSeq], headSeqD.encode(r.headSeq));
+                putVarint(streams[HeadPc], headPcD.encode(r.headPc));
+            }
+            if (r.lastValid) {
+                putVarint(streams[LastPc], lastPcD.encode(r.lastPc));
+                putVarint(streams[LastPsv], r.lastPsv.bits());
+            }
+            for (unsigned i = 0; i < r.numCommitted; ++i) {
+                const CommittedUop &c = r.committed[i];
+                putVarint(streams[ComSeq], comSeqD.encode(c.seq));
+                putVarint(streams[ComPc], comPcD.encode(c.pc));
+                putVarint(streams[ComPsv], c.psv.bits());
+            }
+            break;
+          }
+          case TraceEventKind::Dispatch: {
+            const UopRecord &r = ev.p.uop;
+            putVarint(streams[DispSeq], dispSeqD.encode(r.seq));
+            putVarint(streams[DispPc], dispPcD.encode(r.pc));
+            putVarint(streams[DispCycle], dispCycD.encode(r.cycle));
+            break;
+          }
+          case TraceEventKind::Fetch: {
+            const UopRecord &r = ev.p.uop;
+            putVarint(streams[FetchSeq], fetchSeqD.encode(r.seq));
+            putVarint(streams[FetchPc], fetchPcD.encode(r.pc));
+            putVarint(streams[FetchCycle], fetchCycD.encode(r.cycle));
+            break;
+          }
+          case TraceEventKind::Retire: {
+            const RetireRecord &r = ev.p.retire;
+            putVarint(streams[RetSeq], retSeqD.encode(r.seq));
+            putVarint(streams[RetPc], retPcD.encode(r.pc));
+            putVarint(streams[RetPsv], r.psv.bits());
+            putVarint(streams[RetCycle], retCycD.encode(r.cycle));
+            break;
+          }
+          case TraceEventKind::End:
+            putVarint(streams[EndCycle], ev.p.end);
+            break;
+        }
+    }
+
+    // Assemble the payload: kinds, then length-prefixed streams.
+    std::vector<std::uint8_t> payload;
+    std::size_t payload_guess = kinds.size();
+    for (const auto &s : streams)
+        payload_guess += s.size() + 4;
+    payload.reserve(payload_guess);
+    payload.insert(payload.end(), kinds.begin(), kinds.end());
+    for (const auto &s : streams) {
+        putVarint(payload, s.size());
+        payload.insert(payload.end(), s.begin(), s.end());
+    }
+
+    ChunkFrameHeader hdr;
+    hdr.frameBytes = static_cast<std::uint32_t>(sizeof(ChunkFrameHeader) +
+                                                payload.size());
+    hdr.eventCount = static_cast<std::uint32_t>(chunk.events.size());
+    hdr.cycleRecords = static_cast<std::uint32_t>(chunk.cycleRecords);
+    hdr.payloadCrc = crc32(0, payload.data(), payload.size());
+    tea_assert(hdr.frameBytes <= maxChunkFrameBytes,
+               "trace chunk frame exceeds %u bytes", maxChunkFrameBytes);
+
+    std::size_t at = out.size();
+    out.resize(at + sizeof(hdr) + payload.size());
+    std::memcpy(out.data() + at, &hdr, sizeof(hdr));
+    std::memcpy(out.data() + at + sizeof(hdr), payload.data(),
+                payload.size());
+}
+
+bool
+peekFrame(const std::uint8_t *data, std::size_t avail,
+          ChunkFrameHeader *header, std::string *why)
+{
+    if (avail < sizeof(ChunkFrameHeader))
+        return fail(why, "truncated chunk frame header");
+    ChunkFrameHeader hdr;
+    std::memcpy(&hdr, data, sizeof(hdr));
+    if (hdr.frameBytes < sizeof(ChunkFrameHeader) ||
+        hdr.frameBytes > maxChunkFrameBytes)
+        return fail(why, "implausible chunk frame size");
+    if (hdr.frameBytes > avail)
+        return fail(why, "chunk frame extends past end of file");
+    if (hdr.cycleRecords > hdr.eventCount ||
+        hdr.eventCount > hdr.frameBytes)
+        return fail(why, "implausible chunk event counts");
+    *header = hdr;
+    return true;
+}
+
+bool
+verifyFrame(const std::uint8_t *data, std::size_t avail, std::string *why)
+{
+    ChunkFrameHeader hdr;
+    if (!peekFrame(data, avail, &hdr, why))
+        return false;
+    std::uint32_t crc = crc32(0, data + sizeof(hdr),
+                              hdr.frameBytes - sizeof(hdr));
+    if (crc != hdr.payloadCrc)
+        return fail(why, "chunk payload CRC mismatch");
+    return true;
+}
+
+bool
+decodeChunk(const std::uint8_t *data, std::size_t avail, TraceChunk &out,
+            std::size_t *consumed, std::string *why)
+{
+    ChunkFrameHeader hdr;
+    if (!peekFrame(data, avail, &hdr, why))
+        return false;
+
+    const std::uint8_t *p = data + sizeof(hdr);
+    const std::uint8_t *frame_end = data + hdr.frameBytes;
+    if (frame_end - p <
+        static_cast<std::ptrdiff_t>(hdr.eventCount))
+        return fail(why, "kind array extends past frame");
+    const std::uint8_t *kinds = p;
+    p += hdr.eventCount;
+
+    // Slice out the length-prefixed streams.
+    std::array<Cursor, NumStreams> streams;
+    {
+        Cursor directory{p, frame_end};
+        for (unsigned s = 0; s < NumStreams; ++s) {
+            std::uint64_t len = 0;
+            if (!directory.readVarint(&len))
+                return fail(why, "truncated stream directory");
+            if (len > static_cast<std::uint64_t>(directory.end -
+                                                 directory.p))
+                return fail(why, "stream extends past frame");
+            streams[s] = Cursor{directory.p, directory.p + len};
+            directory.p += len;
+        }
+        if (!directory.exhausted())
+            return fail(why, "trailing bytes after last stream");
+    }
+
+    out.events.clear();
+    out.events.resize(hdr.eventCount);
+    out.cycleRecords = 0;
+
+    DeltaState cycD, headSeqD, headPcD, lastPcD, comSeqD, comPcD;
+    DeltaState dispSeqD, dispPcD, dispCycD, fetchSeqD, fetchPcD,
+        fetchCycD, retSeqD, retPcD, retCycD;
+
+    auto readUop = [&](Stream seq_s, Stream pc_s, Stream cyc_s,
+                       DeltaState &seq_d, DeltaState &pc_d,
+                       DeltaState &cyc_d, UopRecord *r) {
+        std::uint64_t seq, pc, cyc;
+        if (!streams[seq_s].readVarint(&seq) ||
+            !streams[pc_s].readVarint(&pc) ||
+            !streams[cyc_s].readVarint(&cyc))
+            return false;
+        r->seq = seq_d.decode(seq);
+        r->pc = static_cast<InstIndex>(pc_d.decode(pc));
+        r->cycle = cyc_d.decode(cyc);
+        return true;
+    };
+
+    for (std::uint32_t i = 0; i < hdr.eventCount; ++i) {
+        TraceEvent &ev = out.events[i];
+        if (kinds[i] > static_cast<std::uint8_t>(TraceEventKind::End))
+            return fail(why, "unknown trace event kind");
+        ev.kind = static_cast<TraceEventKind>(kinds[i]);
+        switch (ev.kind) {
+          case TraceEventKind::Cycle: {
+            CycleRecord r;
+            std::uint64_t cyc;
+            std::uint8_t flags;
+            if (!streams[CycDelta].readVarint(&cyc) ||
+                !streams[CycFlags].readByte(&flags))
+                return fail(why, "truncated cycle stream");
+            r.cycle = cycD.decode(cyc);
+            r.state = static_cast<CommitState>(flags >> flagStateShift);
+            r.numCommitted =
+                static_cast<std::uint8_t>((flags >> flagCountShift) &
+                                          0xFu);
+            if (r.numCommitted > r.committed.size())
+                return fail(why, "implausible commit count");
+            r.headValid = flags & flagHeadValid;
+            r.lastValid = flags & flagLastValid;
+            if (r.headValid) {
+                std::uint64_t seq, pc;
+                if (!streams[HeadSeq].readVarint(&seq) ||
+                    !streams[HeadPc].readVarint(&pc))
+                    return fail(why, "truncated head stream");
+                r.headSeq = headSeqD.decode(seq);
+                r.headPc = static_cast<InstIndex>(headPcD.decode(pc));
+            }
+            if (r.lastValid) {
+                std::uint64_t pc, psv;
+                if (!streams[LastPc].readVarint(&pc) ||
+                    !streams[LastPsv].readVarint(&psv))
+                    return fail(why, "truncated last-commit stream");
+                r.lastPc = static_cast<InstIndex>(lastPcD.decode(pc));
+                r.lastPsv = Psv(static_cast<std::uint16_t>(psv));
+            }
+            for (unsigned c = 0; c < r.numCommitted; ++c) {
+                std::uint64_t seq, pc, psv;
+                if (!streams[ComSeq].readVarint(&seq) ||
+                    !streams[ComPc].readVarint(&pc) ||
+                    !streams[ComPsv].readVarint(&psv))
+                    return fail(why, "truncated committed stream");
+                r.committed[c] = CommittedUop{
+                    comSeqD.decode(seq),
+                    static_cast<InstIndex>(comPcD.decode(pc)),
+                    Psv(static_cast<std::uint16_t>(psv))};
+            }
+            ev.p.cycle = r;
+            ++out.cycleRecords;
+            break;
+          }
+          case TraceEventKind::Dispatch:
+            if (!readUop(DispSeq, DispPc, DispCycle, dispSeqD, dispPcD,
+                         dispCycD, &ev.p.uop))
+                return fail(why, "truncated dispatch stream");
+            break;
+          case TraceEventKind::Fetch:
+            if (!readUop(FetchSeq, FetchPc, FetchCycle, fetchSeqD,
+                         fetchPcD, fetchCycD, &ev.p.uop))
+                return fail(why, "truncated fetch stream");
+            break;
+          case TraceEventKind::Retire: {
+            RetireRecord r;
+            std::uint64_t seq, pc, psv, cyc;
+            if (!streams[RetSeq].readVarint(&seq) ||
+                !streams[RetPc].readVarint(&pc) ||
+                !streams[RetPsv].readVarint(&psv) ||
+                !streams[RetCycle].readVarint(&cyc))
+                return fail(why, "truncated retire stream");
+            r.seq = retSeqD.decode(seq);
+            r.pc = static_cast<InstIndex>(retPcD.decode(pc));
+            r.psv = Psv(static_cast<std::uint16_t>(psv));
+            r.cycle = retCycD.decode(cyc);
+            ev.p.retire = r;
+            break;
+          }
+          case TraceEventKind::End: {
+            std::uint64_t cyc;
+            if (!streams[EndCycle].readVarint(&cyc))
+                return fail(why, "truncated end stream");
+            ev.p.end = cyc;
+            break;
+          }
+        }
+    }
+
+    if (out.cycleRecords != hdr.cycleRecords)
+        return fail(why, "cycle-record count mismatch");
+    for (const Cursor &c : streams) {
+        if (!c.exhausted())
+            return fail(why, "unconsumed stream bytes");
+    }
+    *consumed = hdr.frameBytes;
+    return true;
+}
+
+} // namespace tea

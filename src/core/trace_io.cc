@@ -1,6 +1,18 @@
 #include "core/trace_io.hh"
 
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <type_traits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
+#include "core/trace_codec.hh"
 
 namespace tea {
 
@@ -218,6 +230,266 @@ replayTrace(const std::string &path,
     }
     std::fclose(f);
     return cycles;
+}
+
+namespace {
+
+/**
+ * On-disk file header of the compact trace-cache format. The CoreStats
+ * snapshot follows immediately (statsBytes raw bytes + its CRC folded
+ * into headerCrc via statsCrc), then payloadBytes of chunk frames.
+ */
+struct TraceFileHeader
+{
+    char magic[8];
+    std::uint32_t codecVersion;
+    std::uint32_t statsBytes;
+    std::uint64_t fingerprint;
+    std::uint64_t chunkCount;
+    std::uint64_t eventCount;
+    std::uint64_t cycleCount;
+    std::uint64_t payloadBytes;
+    std::uint32_t statsCrc;
+    std::uint32_t headerCrc; ///< CRC-32 of all preceding header bytes
+};
+
+constexpr char traceFileMagic[8] = {'T', 'E', 'A', 'T',
+                                    'R', 'C', '0', '1'};
+
+static_assert(sizeof(TraceFileHeader) == 64,
+              "header layout changed; bump traceCodecVersion");
+static_assert(std::is_trivially_copyable_v<CoreStats>,
+              "CoreStats is embedded in trace-cache files by memcpy");
+
+std::uint32_t
+headerSelfCrc(const TraceFileHeader &hdr)
+{
+    return crc32(0, &hdr,
+                 sizeof(TraceFileHeader) - sizeof(std::uint32_t));
+}
+
+} // namespace
+
+CompactTraceWriter::CompactTraceWriter(std::string final_path,
+                                       std::uint64_t fingerprint)
+    : finalPath_(std::move(final_path)), fingerprint_(fingerprint)
+{
+    // Unique temporary in the same directory so the final rename stays
+    // within one filesystem (atomicity) and concurrent writers of the
+    // same entry never clobber each other's partial file.
+    static std::atomic<std::uint64_t> unique{0};
+    tmpPath_ = strprintf("%s.%ld.%llu.tmp", finalPath_.c_str(),
+                         static_cast<long>(::getpid()),
+                         static_cast<unsigned long long>(
+                             unique.fetch_add(1)));
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
+    if (!file_) {
+        tea_warn("trace cache: cannot create '%s' (%s); caching of this "
+                 "entry disabled",
+                 tmpPath_.c_str(), std::strerror(errno));
+        return;
+    }
+    // Reserve space for the header and stats snapshot; commit() seals
+    // them once the totals are known.
+    TraceFileHeader zero{};
+    CoreStats stats{};
+    if (std::fwrite(&zero, 1, sizeof(zero), file_) != sizeof(zero) ||
+        std::fwrite(&stats, 1, sizeof(stats), file_) != sizeof(stats))
+        abandon();
+}
+
+CompactTraceWriter::~CompactTraceWriter()
+{
+    abandon();
+}
+
+void
+CompactTraceWriter::abandon()
+{
+    if (!file_)
+        return;
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmpPath_.c_str());
+}
+
+void
+CompactTraceWriter::writeChunk(const TraceChunk &chunk)
+{
+    if (!file_)
+        return;
+    scratch_.clear();
+    encodeChunk(chunk, scratch_);
+    if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
+        scratch_.size()) {
+        tea_warn("trace cache: short write to '%s' (disk full?); "
+                 "abandoning entry",
+                 tmpPath_.c_str());
+        abandon();
+        return;
+    }
+    ++chunkCount_;
+    eventCount_ += chunk.events.size();
+    cycleCount_ += chunk.cycleRecords;
+    payloadBytes_ += scratch_.size();
+}
+
+std::uint64_t
+CompactTraceWriter::bytesWritten() const
+{
+    return sizeof(TraceFileHeader) + sizeof(CoreStats) + payloadBytes_;
+}
+
+bool
+CompactTraceWriter::commit(const CoreStats &stats)
+{
+    if (!file_)
+        return false;
+
+    TraceFileHeader hdr{};
+    std::memcpy(hdr.magic, traceFileMagic, sizeof(hdr.magic));
+    hdr.codecVersion = traceCodecVersion;
+    hdr.statsBytes = static_cast<std::uint32_t>(sizeof(CoreStats));
+    hdr.fingerprint = fingerprint_;
+    hdr.chunkCount = chunkCount_;
+    hdr.eventCount = eventCount_;
+    hdr.cycleCount = cycleCount_;
+    hdr.payloadBytes = payloadBytes_;
+    hdr.statsCrc = crc32(0, &stats, sizeof(stats));
+    hdr.headerCrc = headerSelfCrc(hdr);
+
+    bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+              std::fwrite(&hdr, 1, sizeof(hdr), file_) == sizeof(hdr) &&
+              std::fwrite(&stats, 1, sizeof(stats), file_) ==
+                  sizeof(stats) &&
+              std::fflush(file_) == 0 &&
+              ::fsync(::fileno(file_)) == 0;
+    if (!ok) {
+        tea_warn("trace cache: error sealing '%s' (disk full?); "
+                 "abandoning entry",
+                 tmpPath_.c_str());
+        abandon();
+        return false;
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+    if (std::rename(tmpPath_.c_str(), finalPath_.c_str()) != 0) {
+        tea_warn("trace cache: cannot publish '%s' (%s)",
+                 finalPath_.c_str(), std::strerror(errno));
+        std::remove(tmpPath_.c_str());
+        return false;
+    }
+    return true;
+}
+
+MappedTraceFile::~MappedTraceFile()
+{
+    if (base_)
+        ::munmap(const_cast<std::uint8_t *>(base_), size_);
+}
+
+std::unique_ptr<MappedTraceFile>
+MappedTraceFile::open(const std::string &path,
+                      std::uint64_t expected_fingerprint,
+                      std::string *why_not)
+{
+    auto reject = [&](const std::string &why) {
+        if (why_not)
+            *why_not = why;
+        return std::unique_ptr<MappedTraceFile>();
+    };
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return reject(strprintf("cannot open: %s", std::strerror(errno)));
+    struct ::stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return reject("cannot stat");
+    }
+    auto size = static_cast<std::size_t>(st.st_size);
+    if (size < sizeof(TraceFileHeader)) {
+        ::close(fd);
+        return reject("file shorter than header");
+    }
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (map == MAP_FAILED)
+        return reject(strprintf("mmap failed: %s", std::strerror(errno)));
+
+    std::unique_ptr<MappedTraceFile> f(new MappedTraceFile);
+    f->base_ = static_cast<const std::uint8_t *>(map);
+    f->size_ = size;
+    f->path_ = path;
+
+    TraceFileHeader hdr;
+    std::memcpy(&hdr, f->base_, sizeof(hdr));
+    if (std::memcmp(hdr.magic, traceFileMagic, sizeof(hdr.magic)) != 0)
+        return reject("bad magic (not a trace-cache file)");
+    if (hdr.headerCrc != headerSelfCrc(hdr))
+        return reject("header CRC mismatch");
+    if (hdr.codecVersion != traceCodecVersion)
+        return reject(strprintf("codec version %u, want %u",
+                                hdr.codecVersion, traceCodecVersion));
+    if (hdr.statsBytes != sizeof(CoreStats))
+        return reject("CoreStats layout mismatch");
+    if (hdr.fingerprint != expected_fingerprint)
+        return reject("workload/config fingerprint mismatch");
+    if (size != sizeof(hdr) + hdr.statsBytes + hdr.payloadBytes)
+        return reject("file size does not match header (truncated?)");
+
+    std::memcpy(&f->stats_, f->base_ + sizeof(hdr), sizeof(CoreStats));
+    if (crc32(0, &f->stats_, sizeof(CoreStats)) != hdr.statsCrc)
+        return reject("CoreStats CRC mismatch");
+
+    // CRC-verify every frame up front: no event is ever delivered from
+    // a file with so much as one bad byte in it.
+    f->payloadOffset_ = sizeof(hdr) + hdr.statsBytes;
+    std::size_t at = f->payloadOffset_;
+    std::uint64_t chunks = 0, events = 0, cycles = 0;
+    while (at < size) {
+        std::string why;
+        if (!verifyFrame(f->base_ + at, size - at, &why))
+            return reject(strprintf("chunk %llu: %s",
+                                    static_cast<unsigned long long>(
+                                        chunks),
+                                    why.c_str()));
+        ChunkFrameHeader ch;
+        peekFrame(f->base_ + at, size - at, &ch, nullptr);
+        ++chunks;
+        events += ch.eventCount;
+        cycles += ch.cycleRecords;
+        at += ch.frameBytes;
+    }
+    if (chunks != hdr.chunkCount || events != hdr.eventCount ||
+        cycles != hdr.cycleCount)
+        return reject("frame totals disagree with header");
+
+    f->chunkCount_ = chunks;
+    f->eventCount_ = events;
+    f->cycleCount_ = cycles;
+    f->rewind();
+    return f;
+}
+
+TraceChunkPtr
+MappedTraceFile::nextChunk()
+{
+    if (cursor_ >= size_)
+        return nullptr;
+    auto chunk = std::make_shared<TraceChunk>();
+    std::size_t consumed = 0;
+    std::string why;
+    if (!decodeChunk(base_ + cursor_, size_ - cursor_, *chunk, &consumed,
+                     &why)) {
+        // Every frame passed CRC validation at open(); failing to
+        // decode now means the codec itself is inconsistent.
+        tea_panic("trace cache '%s': CRC-clean frame failed to decode "
+                  "(%s)",
+                  path_.c_str(), why.c_str());
+    }
+    cursor_ += consumed;
+    return chunk;
 }
 
 } // namespace tea

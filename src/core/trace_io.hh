@@ -5,16 +5,29 @@
  * and replay it later through any set of TraceSinks. This is what lets
  * many analysis configurations be evaluated out-of-band from a single
  * simulation run.
+ *
+ * Two formats live here:
+ *  - TraceWriter/replayTrace: the original tagged fixed-width stream
+ *    (simple, appendable, fatal on I/O error — for explicit dumps).
+ *  - CompactTraceWriter/MappedTraceFile: the trace-cache format — a
+ *    validated header plus CoreStats snapshot plus compact SoA chunk
+ *    frames (core/trace_codec), published by atomic rename and read
+ *    back zero-copy through mmap. Cache writes are best-effort (warn,
+ *    never fatal): the experiment's results are computed in memory, so
+ *    a full disk must not kill the run, only the cache entry.
  */
 
 #ifndef TEA_CORE_TRACE_IO_HH
 #define TEA_CORE_TRACE_IO_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/core.hh"
 #include "core/trace.hh"
+#include "core/trace_buffer.hh"
 
 namespace tea {
 
@@ -60,6 +73,125 @@ class TraceWriter : public TraceSink
  */
 Cycle replayTrace(const std::string &path,
                   const std::vector<TraceSink *> &sinks);
+
+/**
+ * Streaming writer of the compact chunked trace-cache format.
+ *
+ * Writes to a uniquely named temporary file next to @p final_path;
+ * commit() seals the header (counts, CRCs), fsyncs, and atomically
+ * renames onto the final path, so readers only ever observe complete
+ * files. If the writer is destroyed without commit() the temporary is
+ * unlinked. All I/O errors demote the writer to inactive with a warning
+ * — the cache is an accelerator, never a correctness dependency.
+ */
+class CompactTraceWriter
+{
+  public:
+    CompactTraceWriter(std::string final_path, std::uint64_t fingerprint);
+    ~CompactTraceWriter();
+
+    CompactTraceWriter(const CompactTraceWriter &) = delete;
+    CompactTraceWriter &operator=(const CompactTraceWriter &) = delete;
+
+    /** False once any I/O error has been hit (entry abandoned). */
+    bool active() const { return file_ != nullptr; }
+
+    /** Encode and append one chunk frame. */
+    void writeChunk(const TraceChunk &chunk);
+
+    /**
+     * Seal and publish the entry, embedding the simulation's final
+     * @p stats so cache hits can reproduce them without simulating.
+     * @return true when the entry is durably in place
+     */
+    bool commit(const CoreStats &stats);
+
+    /**
+     * On-disk size of the entry so far (header + stats + frames), the
+     * same figure MappedTraceFile::fileBytes() reports on a hit.
+     */
+    std::uint64_t bytesWritten() const;
+
+  private:
+    void abandon();
+
+    std::FILE *file_ = nullptr;
+    std::string finalPath_;
+    std::string tmpPath_;
+    std::uint64_t fingerprint_ = 0;
+    std::uint64_t chunkCount_ = 0;
+    std::uint64_t eventCount_ = 0;
+    std::uint64_t cycleCount_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+    std::vector<std::uint8_t> scratch_; ///< reused frame encode buffer
+};
+
+/**
+ * Memory-mapped, zero-copy reader of the compact trace-cache format.
+ *
+ * open() maps the file and validates *everything* up front — magic,
+ * codec version, header CRC, fingerprint, CoreStats CRC, and the CRC
+ * and bounds of every chunk frame — before a single event can be
+ * delivered, so a corrupted or truncated file can never poison an
+ * observer mid-replay: it simply fails to open (with a reason) and the
+ * caller falls back to simulation. After open() succeeds, chunks are
+ * decoded on demand straight out of the mapping (no read buffers, no
+ * up-front materialization of the trace).
+ */
+class MappedTraceFile
+{
+  public:
+    ~MappedTraceFile();
+
+    MappedTraceFile(const MappedTraceFile &) = delete;
+    MappedTraceFile &operator=(const MappedTraceFile &) = delete;
+
+    /**
+     * Map and validate @p path.
+     * @param expected_fingerprint the (workload, config, codec) key the
+     *        caller derived; a mismatch rejects the file
+     * @param why_not set to a human-readable reason on failure
+     * @return the reader, or nullptr when the file is missing, stale,
+     *         truncated or corrupt
+     */
+    static std::unique_ptr<MappedTraceFile>
+    open(const std::string &path, std::uint64_t expected_fingerprint,
+         std::string *why_not);
+
+    /** Simulation statistics captured when the trace was recorded. */
+    const CoreStats &coreStats() const { return stats_; }
+
+    std::uint64_t chunkCount() const { return chunkCount_; }
+    std::uint64_t eventCount() const { return eventCount_; }
+    std::uint64_t cycleCount() const { return cycleCount_; }
+
+    /** Size of the mapped file in bytes. */
+    std::uint64_t fileBytes() const { return size_; }
+
+    /** Reset the chunk cursor to the first chunk. */
+    void rewind() { cursor_ = payloadOffset_; }
+
+    /**
+     * Decode and return the next chunk, or nullptr after the last one.
+     * The file was fully CRC-verified at open(), so a decode failure
+     * here is an internal invariant violation (panic), not a user
+     * error.
+     */
+    TraceChunkPtr nextChunk();
+
+  private:
+    MappedTraceFile() = default;
+
+    const std::uint8_t *base_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t payloadOffset_ = 0;
+    std::size_t cursor_ = 0;
+    std::string path_;
+    CoreStats stats_{};
+    std::uint64_t chunkCount_ = 0;
+    std::uint64_t eventCount_ = 0;
+    std::uint64_t cycleCount_ = 0;
+};
 
 } // namespace tea
 

@@ -1,7 +1,10 @@
 #include "isa/memory.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
 
 namespace tea {
@@ -43,6 +46,34 @@ SparseMemory::writeDouble(Addr addr, double value)
     std::uint64_t bits;
     std::memcpy(&bits, &value, sizeof(bits));
     write(addr, bits);
+}
+
+std::uint64_t
+SparseMemory::contentHash() const
+{
+    std::vector<Addr> pages;
+    pages.reserve(pages_.size());
+    for (const auto &[page, words] : pages_)
+        pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+
+    Fnv1a h;
+    for (Addr page : pages) {
+        const Page &words = pages_.at(page);
+        // An all-zero page reads identically to an absent one.
+        bool all_zero = true;
+        for (std::uint64_t w : words) {
+            if (w != 0) {
+                all_zero = false;
+                break;
+            }
+        }
+        if (all_zero)
+            continue;
+        h.add(page);
+        h.addBytes(words.data(), sizeof(Page));
+    }
+    return h.value();
 }
 
 } // namespace tea

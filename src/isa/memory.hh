@@ -58,6 +58,14 @@ class SparseMemory
     /** Number of populated pages (test/inspection aid). */
     std::size_t populatedPages() const { return pages_.size(); }
 
+    /**
+     * Order-independent 64-bit hash of the full memory contents
+     * (page-number-sorted), used to fingerprint initial state for the
+     * trace cache. Identical contents hash identically regardless of
+     * the order writes populated the pages.
+     */
+    std::uint64_t contentHash() const;
+
   private:
     static constexpr std::size_t wordsPerPage = pageBytes / 8;
     using Page = std::array<std::uint64_t, wordsPerPage>;

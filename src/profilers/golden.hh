@@ -38,6 +38,17 @@ class GoldenReference : public TraceSink
     /** The exact instruction-granularity PICS. */
     const Pics &pics() const { return pics_; }
 
+    /**
+     * Pre-size the PICS and event-count tables for a program with
+     * @p static_insts static instructions (the golden reference touches
+     * nearly every one, several signatures each).
+     */
+    void reserveCells(std::size_t static_insts)
+    {
+        pics_.reserve(4 * static_insts);
+        eventCounts_.reserve(static_insts);
+    }
+
     /** Dynamic occurrence count of each event per static instruction. */
     const std::unordered_map<InstIndex, std::array<std::uint64_t,
                                                    numEvents>> &

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fingerprint.hh"
 #include "common/types.hh"
 #include "events/event.hh"
 #include "isa/program.hh"
@@ -49,6 +50,15 @@ class Pics
   public:
     /** Add @p cycles to (unit @p pc, signature @p psv). */
     void add(InstIndex pc, Psv psv, double cycles);
+
+    /**
+     * Pre-size the cell table for @p cells expected (unit, signature)
+     * components. A Pics on the simulate/replay hot path grows to one
+     * cell per live (pc, signature) pair; reserving up front (e.g. from
+     * the program's static-instruction count) avoids repeated rehashes
+     * of a multi-megabyte table while the trace streams through.
+     */
+    void reserve(std::size_t cells) { cells_.reserve(cells); }
 
     /** Total attributed cycles. */
     double total() const { return total_; }
@@ -98,7 +108,21 @@ class Pics
         return (static_cast<std::uint64_t>(unit) << 16) | sig;
     }
 
-    std::unordered_map<std::uint64_t, double> cells_;
+    /**
+     * Keys are (unit << 16) | signature, so with the standard library's
+     * identity hash consecutive pcs with the same signature land 2^16
+     * buckets apart while all signatures of one pc collide into adjacent
+     * buckets; mixing restores uniform occupancy.
+     */
+    struct KeyHash
+    {
+        std::size_t operator()(std::uint64_t k) const noexcept
+        {
+            return static_cast<std::size_t>(mix64(k));
+        }
+    };
+
+    std::unordered_map<std::uint64_t, double, KeyHash> cells_;
     double total_ = 0.0;
 };
 

@@ -93,6 +93,16 @@ class TechniqueSampler : public TraceSink
     /** Sampled PICS (each sample weighted by the sampling period). */
     const Pics &pics() const { return pics_; }
 
+    /**
+     * Pre-size the PICS table for a program with @p static_insts static
+     * instructions (samplers see a sparser signature mix than the golden
+     * reference).
+     */
+    void reserveCells(std::size_t static_insts)
+    {
+        pics_.reserve(2 * static_insts);
+    }
+
     /** Samples taken (attributed to an instruction). */
     std::uint64_t samplesTaken() const { return samplesTaken_; }
 
