@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "analysis/audit.hh"
 #include "analysis/trace_cache.hh"
 #include "common/chunk_queue.hh"
 #include "common/logging.hh"
@@ -55,6 +56,7 @@ RunnerOptions::fromEnv()
         envCount("TEA_QUEUE_CHUNKS", opts.queueChunks));
     tea_assert(opts.chunkEvents >= 1, "TEA_CHUNK_EVENTS must be >= 1");
     tea_assert(opts.queueChunks >= 1, "TEA_QUEUE_CHUNKS must be >= 1");
+    opts.audit = static_cast<unsigned>(envCount("TEA_AUDIT", 0));
     opts.cache = TraceCacheOptions::fromEnv();
     return opts;
 }
@@ -143,12 +145,21 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             const RunnerOptions &opts, const CoreConfig &cfg)
 {
     TraceCache cache(opts.cache);
-    if (!cache.enabled() && opts.threads <= 1) {
-        // Serial path without caching: observers attached directly to
-        // the live core, bit-for-bit the historical behaviour.
+    if (!cache.enabled() && opts.threads <= 1 && opts.audit == 0) {
+        // Serial path without caching or auditing: observers attached
+        // directly to the live core, bit-for-bit the historical
+        // behaviour.
         return runWorkload(std::move(workload), std::move(techniques),
                            cfg);
     }
+
+    // TEA_AUDIT >= 2 re-runs multi-threaded experiments serially and
+    // demands bit-identical Pics; keep a pristine copy of the workload
+    // before the primary run consumes it.
+    const bool crossCheck = opts.audit >= 2 && opts.threads > 1;
+    std::unique_ptr<Workload> pristine;
+    if (crossCheck)
+        pristine = std::make_unique<Workload>(workload);
 
     const auto start = Clock::now();
     ExperimentResult res;
@@ -164,12 +175,21 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     }
 
     // One observer group per technique plus the golden reference: the
-    // unit of replay parallelism.
+    // unit of replay parallelism. The auditor, when enabled, rides
+    // along as one more group — it sees the identical event stream the
+    // profilers see, on whichever worker it lands on.
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (opts.audit > 0)
+        auditor = std::make_unique<InvariantAuditor>(
+            InvariantAuditor::Mode::FailFast);
+
     std::vector<SinkGroup> groups;
-    groups.reserve(samplers.size() + 1);
+    groups.reserve(samplers.size() + 2);
     groups.push_back(SinkGroup{{res.golden.get()}});
     for (auto &s : samplers)
         groups.push_back(SinkGroup{{s.get()}});
+    if (auditor)
+        groups.push_back(SinkGroup{{auditor.get()}});
 
     // Cache lookup: the fingerprint keys on workload content, the full
     // config and the codec version, so a hit is guaranteed to replay
@@ -266,6 +286,27 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
         }
     }
 
+    if (auditor) {
+        auditor->finish();
+        // A cached trace must describe exactly as many cycles as the
+        // recorded CoreStats claim — this is the check that catches a
+        // stale or truncated cache entry slipping past validation.
+        if (auditor->cyclesAudited() != res.stats.cycles) {
+            tea_fatal("TEA audit: replay delivered %llu cycle records "
+                      "but core stats claim %llu cycles (%s)",
+                      static_cast<unsigned long long>(
+                          auditor->cyclesAudited()),
+                      static_cast<unsigned long long>(res.stats.cycles),
+                      res.replay.cacheHit ? "stale trace-cache entry?"
+                                          : "trace capture dropped "
+                                            "events");
+        }
+        const std::string conservation =
+            auditCycleConservation(*res.golden, res.stats.cycles);
+        if (!conservation.empty())
+            tea_fatal("TEA audit: %s", conservation.c_str());
+    }
+
     for (auto &s : samplers) {
         res.techniques.push_back(TechniqueResult{
             s->config(), s->pics(), s->samplesTaken(),
@@ -273,6 +314,39 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     }
     res.program = std::move(workload.program);
     res.replay.totalSeconds = secondsSince(start);
+
+    if (crossCheck) {
+        // Determinism contract (DESIGN.md, "Out-of-band replay at
+        // scale"): the same workload replayed serially must yield
+        // bit-identical Pics for the golden reference and every
+        // technique. The serial re-run keeps the audit level at 1 (so
+        // its own trace is still invariant-checked) and bypasses the
+        // cache so it exercises a fresh simulation.
+        RunnerOptions serial = opts;
+        serial.threads = 1;
+        serial.audit = 1;
+        serial.cache.enabled = false;
+        ExperimentResult ref = runWorkload(std::move(*pristine),
+                                           techniques, serial, cfg);
+        std::string diff = auditPicsIdentical(res.golden->pics(),
+                                              ref.golden->pics());
+        if (!diff.empty())
+            tea_fatal("TEA audit: golden PICS diverges between %u "
+                      "threads and serial replay: %s",
+                      opts.threads, diff.c_str());
+        tea_assert(res.techniques.size() == ref.techniques.size(),
+                   "audit re-run produced %zu techniques, expected %zu",
+                   ref.techniques.size(), res.techniques.size());
+        for (std::size_t i = 0; i < res.techniques.size(); ++i) {
+            diff = auditPicsIdentical(res.techniques[i].pics,
+                                      ref.techniques[i].pics);
+            if (!diff.empty())
+                tea_fatal("TEA audit: technique '%s' PICS diverges "
+                          "between %u threads and serial replay: %s",
+                          res.techniques[i].config.name.c_str(),
+                          opts.threads, diff.c_str());
+        }
+    }
     return res;
 }
 

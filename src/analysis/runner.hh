@@ -49,6 +49,16 @@ struct RunnerOptions
     std::size_t queueChunks = 16;   ///< chunks in flight before backpressure
 
     /**
+     * Invariant audit level (analysis/audit). 0 disables auditing; 1
+     * threads an InvariantAuditor through the replay (fatal, naming
+     * the offending cycle/sequence, on the first broken trace
+     * invariant) and verifies golden cycle conservation; 2 additionally
+     * re-runs multi-threaded experiments serially and fails unless
+     * every Pics is bit-identical across the two thread counts.
+     */
+    unsigned audit = 0;
+
+    /**
      * Persistent trace cache (analysis/trace_cache): when enabled, a
      * (workload, config) pair is simulated at most once; later runs
      * replay the cached on-disk trace through the observers instead of
@@ -58,9 +68,10 @@ struct RunnerOptions
 
     /**
      * Options from the environment: TEA_THREADS (default 1),
-     * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, and the trace-cache controls
-     * TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see TraceCacheOptions).
-     * TEA_THREADS=0 means "one worker per hardware thread".
+     * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, TEA_AUDIT (default 0, see
+     * audit above), and the trace-cache controls TEA_TRACE_CACHE /
+     * TEA_TRACE_CACHE_DIR (see TraceCacheOptions). TEA_THREADS=0 means
+     * "one worker per hardware thread".
      */
     static RunnerOptions fromEnv();
 };

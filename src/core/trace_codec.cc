@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <tuple>
 
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
@@ -46,6 +47,26 @@ constexpr unsigned flagStateShift = 6;
 constexpr unsigned flagCountShift = 2;
 constexpr unsigned flagHeadValid = 0x2;
 constexpr unsigned flagLastValid = 0x1;
+
+// Frame-layout lock (enforced by tea_lint's codec-version-lock rule):
+// the stream directory, the flag packing and the frame header are the
+// on-disk contract. Changing any of them invalidates every cached
+// trace, so the change must come with a traceCodecVersion bump — update
+// the pinned values here in the same commit that bumps the version.
+static_assert(traceCodecVersion == 1,
+              "codec version changed: re-pin the layout asserts below");
+static_assert(sizeof(ChunkFrameHeader) == 16,
+              "ChunkFrameHeader layout changed: bump traceCodecVersion");
+static_assert(NumStreams == 20,
+              "stream directory changed: bump traceCodecVersion");
+static_assert(static_cast<unsigned>(TraceEventKind::End) == 4,
+              "trace event kinds changed: bump traceCodecVersion");
+static_assert(flagStateShift == 6 && flagCountShift == 2 &&
+                  flagHeadValid == 0x2 && flagLastValid == 0x1,
+              "CycFlags packing changed: bump traceCodecVersion");
+static_assert(std::tuple_size_v<decltype(CycleRecord{}.committed)> <=
+                  0xF,
+              "commit snapshot exceeds the 4-bit CycFlags count field");
 
 void
 putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)

@@ -28,25 +28,29 @@ class InvariantSink : public TraceSink
         } else {
             EXPECT_EQ(rec.numCommitted, 0u);
         }
-        if (rec.state == CommitState::Stalled)
+        if (rec.state == CommitState::Stalled) {
             EXPECT_TRUE(rec.headValid);
-        if (rec.state == CommitState::Flushed)
+        }
+        if (rec.state == CommitState::Flushed) {
             EXPECT_TRUE(rec.lastValid);
+        }
     }
 
     void
     onDispatch(const UopRecord &rec) override
     {
-        if (lastDispatch != invalidSeqNum)
+        if (lastDispatch != invalidSeqNum) {
             EXPECT_EQ(rec.seq, lastDispatch + 1); // in-order dispatch
+        }
         lastDispatch = rec.seq;
     }
 
     void
     onFetch(const UopRecord &rec) override
     {
-        if (lastFetch != invalidSeqNum)
+        if (lastFetch != invalidSeqNum) {
             EXPECT_EQ(rec.seq, lastFetch + 1);
+        }
         lastFetch = rec.seq;
         ++fetched;
     }
@@ -54,8 +58,9 @@ class InvariantSink : public TraceSink
     void
     onRetire(const RetireRecord &rec) override
     {
-        if (lastRetire != invalidSeqNum)
+        if (lastRetire != invalidSeqNum) {
             EXPECT_EQ(rec.seq, lastRetire + 1); // in-order commit
+        }
         lastRetire = rec.seq;
         ++retired;
     }

@@ -4,12 +4,14 @@
  * observers to byte-identical results as the live simulation.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <gtest/gtest.h>
 #include <vector>
 
 #include "common/rng.hh"
 #include "core/trace_buffer.hh"
+#include "core/trace_codec.hh"
 #include "core/trace_io.hh"
 #include "profilers/golden.hh"
 #include "profilers/sampler.hh"
@@ -268,6 +270,54 @@ TEST_P(TraceIoRoundTrip, RandomizedEventSequenceSurvivesRoundTrip)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoRoundTrip,
                          ::testing::Values(1u, 42u, 0xdecafbadu));
+
+TEST(TraceCodec, DecodeFromMisalignedBuffer)
+{
+    // Frames in a cached file start wherever the previous frame ended,
+    // so the decoder sees arbitrary byte offsets inside the mmap'd
+    // region. Every multi-byte field read must therefore be
+    // alignment-safe (memcpy, not pointer casts) — under UBSan a
+    // misaligned load here aborts the test.
+    std::vector<TraceEvent> written = randomEvents(0xa11a, 500);
+    TraceChunk chunk;
+    chunk.events = written;
+    for (const TraceEvent &ev : written) {
+        if (ev.kind == TraceEventKind::Cycle)
+            ++chunk.cycleRecords;
+    }
+    std::vector<std::uint8_t> encoded;
+    encodeChunk(chunk, encoded);
+    ASSERT_GT(encoded.size(), sizeof(ChunkFrameHeader));
+
+    for (std::size_t off = 1; off < 8; ++off) {
+        SCOPED_TRACE(off);
+        std::vector<std::uint8_t> buf(encoded.size() + off, 0xAB);
+        std::copy(encoded.begin(), encoded.end(), buf.begin() +
+                  static_cast<std::ptrdiff_t>(off));
+        const std::uint8_t *frame = buf.data() + off;
+
+        std::string why;
+        ChunkFrameHeader header;
+        ASSERT_TRUE(peekFrame(frame, encoded.size(), &header, &why))
+            << why;
+        EXPECT_EQ(header.eventCount, written.size());
+        ASSERT_TRUE(verifyFrame(frame, encoded.size(), &why)) << why;
+
+        TraceChunk out;
+        std::size_t consumed = 0;
+        ASSERT_TRUE(decodeChunk(frame, encoded.size(), out, &consumed,
+                                &why))
+            << why;
+        EXPECT_EQ(consumed, encoded.size());
+        ASSERT_EQ(out.events.size(), written.size());
+        // eventsEquivalent, not field equality: the codec legitimately
+        // canonicalizes validity-gated fields (see trace_codec.hh).
+        for (std::size_t i = 0; i < written.size(); ++i) {
+            SCOPED_TRACE(i);
+            EXPECT_TRUE(eventsEquivalent(written[i], out.events[i]));
+        }
+    }
+}
 
 TEST(TraceIo, TruncatedFileIsFatal)
 {

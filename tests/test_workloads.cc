@@ -182,8 +182,9 @@ TEST(Workloads, LbmPrefetchSweepShape)
     for (unsigned d : {0u, 2u, 4u}) {
         p.prefetchDistance = d;
         CoreRun run = runCore(workloads::lbm(p));
-        if (prev != 0)
+        if (prev != 0) {
             EXPECT_LT(run->stats().cycles, prev) << "distance " << d;
+        }
         prev = run->stats().cycles;
     }
 }

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Minimal run-clang-tidy: lint every translation unit under a source
+root using the build tree's compile_commands.json, in parallel, failing
+(exit 1) when any file produces diagnostics. Kept dependency-free so the
+`lint` CMake target works with a bare clang-tidy install."""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures as futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clang-tidy", default="clang-tidy",
+                    help="clang-tidy executable")
+    ap.add_argument("-p", dest="build_dir", required=True, type=Path,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--source-root", required=True, type=Path,
+                    help="only lint files under this directory")
+    ap.add_argument("-j", dest="jobs", type=int,
+                    default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    db = args.build_dir / "compile_commands.json"
+    if not db.exists():
+        print(f"lint: {db} not found (configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return 2
+
+    root = args.source_root.resolve()
+    files = sorted({str(Path(e["file"]).resolve())
+                    for e in json.loads(db.read_text())
+                    if str(Path(e["file"]).resolve()).startswith(
+                        str(root))})
+    if not files:
+        print(f"lint: no translation units under {root}",
+              file=sys.stderr)
+        return 2
+
+    def tidy(path: str) -> tuple[str, int, str]:
+        r = subprocess.run(
+            [args.clang_tidy, "-p", str(args.build_dir),
+             "--quiet", "--warnings-as-errors=*", path],
+            capture_output=True, text=True)
+        return path, r.returncode, (r.stdout + r.stderr).strip()
+
+    failures = 0
+    with futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(tidy, files):
+            rel = os.path.relpath(path, root)
+            if code != 0:
+                failures += 1
+                print(f"--- {rel}")
+                if output:
+                    print(output)
+    if failures:
+        print(f"lint: FAIL ({failures}/{len(files)} files with "
+              "diagnostics)")
+        return 1
+    print(f"lint: PASS ({len(files)} translation units clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
