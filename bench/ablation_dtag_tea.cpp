@@ -50,5 +50,5 @@ main()
     std::puts("Paper claim: tagging TEA's events at dispatch yields "
               "similar accuracy to IBS/SPE/RIS -- the attribution "
               "policy, not the event set, is what matters.");
-    return 0;
+    return suiteExitCode(runs);
 }

@@ -62,5 +62,5 @@ main()
               "golden; the front-end taggers' tens-of-percent error is "
               "almost entirely the attribution policy. This is the "
               "paper's central argument quantified.");
-    return 0;
+    return suiteExitCode(runs);
 }

@@ -51,5 +51,5 @@ main()
     std::puts("TEA's accuracy is insensitive to the prefetcher: the "
               "attribution policy does not depend on which misses the "
               "hardware happens to hide.");
-    return 0;
+    return suiteExitCode(runs_on) | suiteExitCode(runs_off);
 }

@@ -65,5 +65,5 @@ main()
     std::printf("event-free stall p99, suite mean: %.1f cycles "
                 "(paper: 99%% of such stalls < 5.8 cycles)\n",
                 mean(p99s));
-    return 0;
+    return suiteExitCode(runs);
 }

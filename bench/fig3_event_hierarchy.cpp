@@ -80,5 +80,5 @@ main()
     t.print();
     std::puts("Paper: nine events suffice -- 99% of the stalls of "
               "instructions with no event are shorter than 5.8 cycles.");
-    return 0;
+    return suiteExitCode(runs);
 }

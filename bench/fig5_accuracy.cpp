@@ -79,5 +79,5 @@ main()
               "TEA 2.1% average.");
     std::printf("[%u replay thread(s), %.2f s total]\n", opts.threads,
                 total_seconds);
-    return 0;
+    return suiteExitCode(all);
 }

@@ -56,5 +56,5 @@ main()
         std::printf("   instruction-level error: TEA %.1f%%, IBS %.1f%%\n\n",
                     100.0 * res.errorOf(tea), 100.0 * res.errorOf(ibs));
     }
-    return 0;
+    return suiteExitCode(all);
 }

@@ -69,5 +69,5 @@ main()
     std::puts("Paper: FL-* events correlate strongly; TLB/cache misses "
               "moderately (ST-LLC > ST-L1); DR-SQ least with the largest "
               "spread.");
-    return 0;
+    return suiteExitCode(runs);
 }

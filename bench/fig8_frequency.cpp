@@ -77,5 +77,5 @@ main()
     std::puts("Paper: error is insensitive to frequency above 4 kHz; the "
               "front-end taggers' error is bias-dominated and does not "
               "improve with frequency.");
-    return 0;
+    return suiteExitCode(all);
 }

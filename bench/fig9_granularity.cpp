@@ -59,5 +59,5 @@ main()
     std::puts("Paper: TEA uniformly most accurate; IBS/SPE/RIS improve "
               "at function granularity but stay inaccurate because "
               "cycles are misattributed to the wrong events.");
-    return 0;
+    return suiteExitCode(all);
 }

@@ -59,5 +59,5 @@ main()
                 topDownFrom(lbm.stats).render().c_str());
     std::puts("PICS (Fig 10) additionally pinpoints the single critical "
               "fld carrying 62% of execution time.");
-    return 0;
+    return suiteExitCode(runs);
 }

@@ -29,7 +29,16 @@ main(int argc, char **argv)
     RunnerOptions opts = RunnerOptions::fromEnv();
     if (argc > 2)
         opts.threads = static_cast<unsigned>(std::atoi(argv[2]));
-    ExperimentResult res = runBenchmark(name, standardTechniques(), opts);
+    ExperimentResult res;
+    try {
+        res = runBenchmark(name, standardTechniques(), opts);
+    } catch (const std::exception &e) {
+        // A contained experiment failure (e.g. replay workers dying
+        // under injected faults) must end as a clean nonzero exit, not
+        // std::terminate.
+        std::fprintf(stderr, "compare_techniques: %s\n", e.what());
+        return 1;
+    }
     double total = res.golden->pics().total();
 
     Table t;

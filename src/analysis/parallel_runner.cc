@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
 #include "analysis/audit.hh"
 #include "analysis/trace_cache.hh"
 #include "common/chunk_queue.hh"
+#include "common/failpoint.hh"
+#include "common/file_lock.hh"
 #include "common/logging.hh"
 #include "core/trace_io.hh"
 
@@ -17,6 +20,16 @@ namespace tea {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Fault-injection seams (common/failpoint). These raise FailpointError
+// — an ordinary exception — so they exercise the containment paths:
+// a worker-side fault is recorded in ReplayWorkerStats::error and fails
+// only that experiment; an experiment-side fault is caught per
+// experiment by runBenchmarkSuite.
+Failpoint fpQueuePush("runner.queue_push", EIO);
+Failpoint fpQueuePop("runner.queue_pop", EIO);
+Failpoint fpWorkerBody("runner.worker_body", EIO);
+Failpoint fpExperiment("runner.experiment", EIO);
 
 double
 secondsSince(Clock::time_point t0)
@@ -58,6 +71,8 @@ RunnerOptions::fromEnv()
     tea_assert(opts.queueChunks >= 1, "TEA_QUEUE_CHUNKS must be >= 1");
     opts.audit = static_cast<unsigned>(envCount("TEA_AUDIT", 0));
     opts.cache = TraceCacheOptions::fromEnv();
+    opts.cacheLockTimeoutMs = static_cast<unsigned>(envCount(
+        "TEA_CACHE_LOCK_TIMEOUT_MS", opts.cacheLockTimeoutMs));
     return opts;
 }
 
@@ -96,10 +111,29 @@ replayChunksThroughPool(const std::vector<SinkGroup> &groups,
             ws.sinkGroups = my_groups;
             const auto t0 = Clock::now();
             TraceChunkPtr chunk;
+            // Containment contract: an exception out of an observer (or
+            // an injected fault) is recorded in ws.error, and the
+            // worker *keeps draining the queue* — each consumer has its
+            // own cursor in the broadcast queue, so a worker that
+            // simply stopped popping would stall the producer forever
+            // once backpressure engages. The experiment as a whole is
+            // failed after the join (ExperimentFailure).
             while (queue.pop(w, chunk)) {
-                ++ws.chunksConsumed;
-                ws.eventsReplayed += chunk->events.size();
-                ws.cyclesReplayed += replayChunk(*chunk, sinks);
+                if (ws.error.empty()) {
+                    try {
+                        if (TEA_FAILPOINT(fpQueuePop))
+                            fpQueuePop.raise();
+                        if (TEA_FAILPOINT(fpWorkerBody))
+                            fpWorkerBody.raise();
+                        ++ws.chunksConsumed;
+                        ws.eventsReplayed += chunk->events.size();
+                        ws.cyclesReplayed += replayChunk(*chunk, sinks);
+                    } catch (const std::exception &e) {
+                        ws.error = e.what();
+                    } catch (...) {
+                        ws.error = "unknown exception in replay worker";
+                    }
+                }
                 chunk.reset();
             }
             ws.replaySeconds = secondsSince(t0);
@@ -108,20 +142,37 @@ replayChunksThroughPool(const std::vector<SinkGroup> &groups,
     }
 
     const auto start = Clock::now();
-    pump([&](TraceChunkPtr c) {
-        ++stats.chunksProduced;
-        stats.eventsCaptured += c->events.size();
-        queue.push(std::move(c));
-    });
+    try {
+        pump([&](TraceChunkPtr c) {
+            if (TEA_FAILPOINT(fpQueuePush))
+                fpQueuePush.raise();
+            ++stats.chunksProduced;
+            stats.eventsCaptured += c->events.size();
+            queue.push(std::move(c));
+        });
+    } catch (...) {
+        // The producer died mid-trace. Close the queue and join the
+        // workers before the exception unwinds this frame: destroying
+        // a joinable std::thread is std::terminate, which would turn a
+        // containable experiment failure into process death (and leak
+        // any half-written cache temporary on the way out).
+        queue.close();
+        for (std::thread &t : pool)
+            t.join();
+        throw;
+    }
     stats.simulateSeconds = secondsSince(start);
     queue.close();
     for (std::thread &t : pool)
         t.join();
     stats.totalSeconds = secondsSince(start);
     stats.queueFullStalls = queue.fullWaits();
-    for (const ReplayWorkerStats &ws : stats.workers)
+    for (const ReplayWorkerStats &ws : stats.workers) {
         stats.replaySeconds = std::max(stats.replaySeconds,
                                        ws.replaySeconds);
+        if (!ws.error.empty())
+            ++stats.workerFailures;
+    }
     return stats;
 }
 
@@ -144,6 +195,7 @@ ExperimentResult
 runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             const RunnerOptions &opts, const CoreConfig &cfg)
 {
+    failpoints::checkEnvConsumed();
     TraceCache cache(opts.cache);
     if (!cache.enabled() && opts.threads <= 1 && opts.audit == 0) {
         // Serial path without caching or auditing: observers attached
@@ -197,10 +249,34 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     std::uint64_t fp = 0;
     std::string entry;
     std::unique_ptr<MappedTraceFile> mapped;
+    CacheOpStats cacheOps;
+    FileLock storeLock;
     if (cache.enabled()) {
         fp = TraceCache::fingerprintOf(workload, cfg);
         entry = cache.entryPath(res.name, fp);
-        mapped = cache.openEntry(entry, fp);
+        mapped = cache.openEntry(entry, fp, &cacheOps);
+        if (!mapped) {
+            // Miss (or a damaged entry just quarantined): the rewrite
+            // must be serialized against concurrent processes aiming at
+            // the same entry — tmp+rename makes the publish atomic, but
+            // without the lock two processes would both simulate and
+            // race their renames.
+            if (storeLock.acquire(TraceCache::lockPathFor(entry),
+                                  opts.cacheLockTimeoutMs)) {
+                // Revalidate under the lock: whoever held it before us
+                // may have published a healthy entry while we waited.
+                mapped = cache.openEntry(entry, fp, &cacheOps);
+            } else {
+                tea_warn("trace cache: cannot lock %s within %u ms; "
+                         "simulating without storing",
+                         TraceCache::lockPathFor(entry).c_str(),
+                         opts.cacheLockTimeoutMs);
+            }
+        }
+        // A hit needs no lock: the mapping pins the published file even
+        // if another process later replaces or quarantines the path.
+        if (mapped)
+            storeLock.release();
     }
 
     if (mapped) {
@@ -239,8 +315,10 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     } else {
         // Miss (or caching off): simulate, teeing the chunk stream into
         // the cache writer so the next run with this fingerprint hits.
+        // Only the lock holder stores; a runner that lost the lock race
+        // still computes its results, it just leaves no entry behind.
         std::unique_ptr<CompactTraceWriter> writer;
-        if (cache.enabled())
+        if (cache.enabled() && storeLock.held())
             writer = std::make_unique<CompactTraceWriter>(entry, fp);
 
         Core core(cfg, workload.program, std::move(workload.initial));
@@ -283,7 +361,27 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
         if (writer) {
             res.replay.cacheStored = writer->commit(core.stats());
             res.replay.cacheBytes = writer->bytesWritten();
+            res.replay.ioRetries += writer->retryStats().retries;
+            res.replay.ioRecoveries += writer->retryStats().recoveries;
         }
+        storeLock.release();
+    }
+    res.replay.ioRetries += cacheOps.retry.retries;
+    res.replay.ioRecoveries += cacheOps.retry.recoveries;
+    res.replay.quarantined += cacheOps.quarantined;
+
+    if (res.replay.workerFailures > 0) {
+        std::string first;
+        for (const ReplayWorkerStats &ws : res.replay.workers) {
+            if (!ws.error.empty()) {
+                first = strprintf("worker %u: %s", ws.workerId,
+                                  ws.error.c_str());
+                break;
+            }
+        }
+        throw ExperimentFailure(strprintf(
+            "experiment '%s': %u replay worker(s) failed (%s)",
+            res.name.c_str(), res.replay.workerFailures, first.c_str()));
     }
 
     if (auditor) {
@@ -372,27 +470,86 @@ runBenchmarkSuite(const std::vector<std::string> &names,
     // parallel decode-and-replay with no simulation at all.
     RunnerOptions inner = opts;
     inner.threads = 1;
+
+    // Containment: one experiment failing — an observer exception, a
+    // contained replay-worker death (ExperimentFailure), an injected
+    // fault — must not take the rest of the suite with it. The failure
+    // is recorded on that experiment's result; everything else
+    // completes normally.
+    auto runOne = [&](std::size_t i) {
+        try {
+            if (TEA_FAILPOINT(fpExperiment))
+                fpExperiment.raise();
+            results[i] = runBenchmark(names[i], techniques, inner, cfg);
+        } catch (const std::exception &e) {
+            results[i].name = names[i];
+            results[i].error = e.what();
+            tea_warn("suite: experiment '%s' failed (contained): %s",
+                     names[i].c_str(), e.what());
+        } catch (...) {
+            results[i].name = names[i];
+            results[i].error = "unknown exception";
+            tea_warn("suite: experiment '%s' failed (contained): "
+                     "unknown exception",
+                     names[i].c_str());
+        }
+    };
+
     if (workers <= 1) {
         for (std::size_t i = 0; i < names.size(); ++i)
-            results[i] = runBenchmark(names[i], techniques, inner, cfg);
-        return results;
+            runOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            // Cannot throw: runOne catches everything internally and
+            // fetch_add/size are noexcept.
+            // tea_lint: allow(unguarded-worker)
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < names.size(); i = next.fetch_add(1)) {
+                    runOne(i);
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
     }
 
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (std::size_t i = next.fetch_add(1); i < names.size();
-                 i = next.fetch_add(1)) {
-                results[i] = runBenchmark(names[i], techniques, inner,
-                                          cfg);
-            }
-        });
+    // Stamp the suite-wide degradation count on every result so any
+    // single result's ReplayStats reveals that the suite it came from
+    // was not fully healthy.
+    unsigned degraded = 0;
+    for (const ExperimentResult &r : results)
+        degraded += r.failed() ? 1 : 0;
+    if (degraded > 0) {
+        for (ExperimentResult &r : results)
+            r.replay.degradedExperiments = degraded;
     }
-    for (std::thread &t : pool)
-        t.join();
     return results;
+}
+
+std::string
+renderSuiteErrors(const std::vector<ExperimentResult> &results)
+{
+    std::string out;
+    for (const ExperimentResult &r : results) {
+        if (r.failed())
+            out += strprintf("experiment '%s' FAILED: %s\n",
+                             r.name.c_str(), r.error.c_str());
+    }
+    return out;
+}
+
+int
+suiteExitCode(const std::vector<ExperimentResult> &results)
+{
+    const std::string errors = renderSuiteErrors(results);
+    if (errors.empty())
+        return 0;
+    std::fputs(errors.c_str(), stderr);
+    return 1;
 }
 
 } // namespace tea

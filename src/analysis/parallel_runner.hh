@@ -92,6 +92,19 @@ std::vector<ExperimentResult> runBenchmarkSuite(
     const RunnerOptions &opts = RunnerOptions{},
     const CoreConfig &cfg = CoreConfig{});
 
+/**
+ * Per-experiment error report of a suite run: one line per failed
+ * experiment, empty string when every experiment succeeded.
+ */
+std::string renderSuiteErrors(const std::vector<ExperimentResult> &results);
+
+/**
+ * main()-tail for suite tools: print renderSuiteErrors to stderr and
+ * return 1 when any experiment failed, 0 otherwise — a degraded suite
+ * run must not exit 0 and look healthy to scripts.
+ */
+int suiteExitCode(const std::vector<ExperimentResult> &results);
+
 } // namespace tea
 
 #endif // TEA_ANALYSIS_PARALLEL_RUNNER_HH

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.hh"
 #include "common/logging.hh"
 
 namespace tea {
@@ -38,6 +39,10 @@ ExperimentResult
 runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             const CoreConfig &cfg)
 {
+    // Static init is long over: a TEA_FAILPOINTS entry still parked
+    // names no seam in this binary and must not silently test nothing.
+    failpoints::checkEnvConsumed();
+
     using Clock = std::chrono::steady_clock;
     const auto start = Clock::now();
 

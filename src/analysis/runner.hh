@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,13 +68,36 @@ struct RunnerOptions
     TraceCacheOptions cache;
 
     /**
+     * How long a cache miss waits for the per-entry advisory write lock
+     * (common/file_lock) before degrading to simulate-without-storing.
+     * The lock serializes concurrent processes rewriting the same
+     * entry; flock semantics make a crashed holder's lock evaporate, so
+     * a timeout here means live contention, not a stale lock.
+     */
+    unsigned cacheLockTimeoutMs = 5000;
+
+    /**
      * Options from the environment: TEA_THREADS (default 1),
      * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, TEA_AUDIT (default 0, see
-     * audit above), and the trace-cache controls TEA_TRACE_CACHE /
-     * TEA_TRACE_CACHE_DIR (see TraceCacheOptions). TEA_THREADS=0 means
-     * "one worker per hardware thread".
+     * audit above), TEA_CACHE_LOCK_TIMEOUT_MS, and the trace-cache
+     * controls TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see
+     * TraceCacheOptions). TEA_THREADS=0 means "one worker per hardware
+     * thread".
      */
     static RunnerOptions fromEnv();
+};
+
+/**
+ * Thrown when an experiment fails in a *contained* way — a replay
+ * worker's observers died (ReplayWorkerStats::error) or an injected
+ * fault fired — as opposed to a programming error (tea_panic) or an
+ * unusable environment (tea_fatal). runBenchmarkSuite catches it per
+ * experiment and records it in ExperimentResult::error so one bad
+ * experiment cannot take the suite down.
+ */
+struct ExperimentFailure : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
 };
 
 /** Outcome of simulating one workload with all observers attached. */
@@ -85,6 +109,16 @@ struct ExperimentResult
     ReplayStats replay;
     std::unique_ptr<GoldenReference> golden;
     std::vector<TechniqueResult> techniques;
+
+    /**
+     * Non-empty when this experiment failed and the failure was
+     * contained to it (suite runs only; see ExperimentFailure). A
+     * failed result carries no usable Pics.
+     */
+    std::string error;
+
+    /** True when the experiment failed (see error). */
+    bool failed() const { return !error.empty(); }
 
     /** Result of the technique named @p name (fatal if absent). */
     const TechniqueResult &technique(const std::string &name) const;

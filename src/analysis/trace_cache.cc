@@ -1,11 +1,15 @@
 #include "analysis/trace_cache.hh"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
 #include "core/trace_codec.hh"
@@ -13,6 +17,15 @@
 namespace tea {
 
 namespace {
+
+// Fault-injection seams (see common/failpoint and DESIGN.md, "Failure
+// model and recovery"). The fingerprint seam perturbs the key instead
+// of erroring: a perturbed key is still self-consistent within the run,
+// so it exercises the forced-miss/stale paths without corrupting state.
+Failpoint fpCacheMkdir("trace_cache.mkdir", EACCES);
+Failpoint fpCacheStat("trace_cache.stat", EIO);
+Failpoint fpFingerprint("trace_cache.fingerprint", 0);
+Failpoint fpQuarantine("trace_cache.quarantine", EACCES);
 
 std::string
 defaultCacheDir()
@@ -95,7 +108,12 @@ TraceCache::TraceCache(TraceCacheOptions opts) : opts_(std::move(opts))
 {
     if (!opts_.enabled)
         return;
-    if (opts_.dir.empty() || !makeDirs(opts_.dir)) {
+    bool made = !opts_.dir.empty() && makeDirs(opts_.dir);
+    if (made && TEA_FAILPOINT(fpCacheMkdir)) {
+        errno = fpCacheMkdir.failErrno();
+        made = false;
+    }
+    if (!made) {
         tea_warn("trace cache: cannot create directory \"%s\" (%s); "
                  "caching disabled",
                  opts_.dir.c_str(), std::strerror(errno));
@@ -138,7 +156,13 @@ TraceCache::fingerprintOf(const Workload &workload, const CoreConfig &cfg)
     h.add(workload.initial.mem.contentHash());
 
     hashConfig(h, cfg);
-    return h.value();
+    std::uint64_t fp = h.value();
+    // Deterministic perturbation: the run still agrees with itself on
+    // the key, but it can never match (or be matched by) a healthy run,
+    // which forces the miss/stale-entry machinery to engage.
+    if (TEA_FAILPOINT(fpFingerprint))
+        fp ^= 1;
+    return fp;
 }
 
 std::string
@@ -149,23 +173,102 @@ TraceCache::entryPath(const std::string &name, std::uint64_t fp) const
 }
 
 std::unique_ptr<MappedTraceFile>
-TraceCache::openEntry(const std::string &path, std::uint64_t fp) const
+TraceCache::openEntry(const std::string &path, std::uint64_t fp,
+                      CacheOpStats *ops) const
 {
     if (!opts_.enabled)
         return nullptr;
     struct ::stat st{};
-    if (::stat(path.c_str(), &st) != 0)
-        return nullptr; // plain miss: nothing cached yet
+    int stat_rc = ::stat(path.c_str(), &st);
+    if (stat_rc == 0 && TEA_FAILPOINT(fpCacheStat)) {
+        errno = fpCacheStat.failErrno();
+        stat_rc = -1;
+    }
+    if (stat_rc != 0)
+        return nullptr; // plain miss: nothing cached yet (or unreadable
+                        // — degrading to a miss is the safe answer)
+
+    std::unique_ptr<MappedTraceFile> mapped;
     std::string why;
-    auto mapped = MappedTraceFile::open(path, fp, &why);
-    if (mapped == nullptr && !why.empty()) {
-        // A reason means the file existed but failed validation
-        // (corruption, truncation, stale codec/fingerprint) — worth a
-        // warning; a plain miss is silent.
+    int sys_err = 0;
+    RetryStats local;
+    RetryStats &retry = ops != nullptr ? ops->retry : local;
+    RetryPolicy policy;
+    retryTransient(policy, retry, [&] {
+        mapped = MappedTraceFile::open(path, fp, &why, &sys_err);
+        if (mapped == nullptr && sys_err != 0) {
+            errno = sys_err; // let retryTransient classify it
+            return false;
+        }
+        return true; // mapped, or a validation verdict retry can't fix
+    });
+    if (mapped != nullptr)
+        return mapped;
+
+    if (sys_err != 0) {
+        // Syscall failure that survived the retries: degrade to a miss.
+        tea_warn("trace cache: cannot open entry %s: %s", path.c_str(),
+                 std::strerror(sys_err));
+        return nullptr;
+    }
+    if (!why.empty()) {
+        // A reason with no errno means the file existed but failed
+        // validation (corruption, truncation, stale codec/fingerprint):
+        // warn, move it out of the way, and let the caller rewrite.
         tea_warn("trace cache: discarding entry %s: %s", path.c_str(),
                  why.c_str());
+        if (ops != nullptr)
+            ops->damaged = true;
+        if (quarantineEntry(path, why) && ops != nullptr)
+            ++ops->quarantined;
     }
-    return mapped;
+    return nullptr;
+}
+
+bool
+TraceCache::quarantineEntry(const std::string &path,
+                            const std::string &reason) const
+{
+    if (!opts_.enabled)
+        return false;
+
+    // Unique destination name so repeated damage to the same entry
+    // (or two racing processes) never collide; a losing rename just
+    // means someone else already moved the file.
+    static std::atomic<unsigned> seq{0};
+    std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::string dest =
+        strprintf("%s/%s.%ld.%u", quarantineDir().c_str(), base.c_str(),
+                  static_cast<long>(::getpid()),
+                  seq.fetch_add(1, std::memory_order_relaxed));
+
+    bool moved = makeDirs(quarantineDir());
+    if (moved && TEA_FAILPOINT(fpQuarantine)) {
+        errno = fpQuarantine.failErrno();
+        moved = false;
+    }
+    moved = moved && std::rename(path.c_str(), dest.c_str()) == 0;
+    if (!moved) {
+        tea_warn("trace cache: cannot quarantine %s (%s); unlinking it "
+                 "instead",
+                 path.c_str(), std::strerror(errno));
+        // Last resort: a damaged entry must never be reopened as if it
+        // were healthy. Failure here means it is already gone.
+        std::remove(path.c_str()); // tea_lint: allow(unchecked-io)
+        return false;
+    }
+
+    // The .reason file is diagnostic convenience, not a correctness
+    // dependency: best effort.
+    if (std::FILE *f = std::fopen((dest + ".reason").c_str(), "w");
+        f != nullptr) {
+        std::fputs(reason.c_str(), f); // tea_lint: allow(unchecked-io)
+        std::fputc('\n', f);           // tea_lint: allow(unchecked-io)
+        std::fclose(f);                // tea_lint: allow(unchecked-io)
+    }
+    return true;
 }
 
 } // namespace tea

@@ -23,11 +23,23 @@
 #include <memory>
 #include <string>
 
+#include "common/retry.hh"
 #include "core/config.hh"
 #include "core/trace_io.hh"
 #include "workloads/workload.hh"
 
 namespace tea {
+
+/**
+ * Outcome counters of one cache operation, merged into ReplayStats by
+ * the runner (see DESIGN.md, "Failure model and recovery").
+ */
+struct CacheOpStats
+{
+    RetryStats retry;              ///< transient-I/O retries/recoveries
+    std::uint64_t quarantined = 0; ///< damaged entries moved aside
+    bool damaged = false; ///< an entry existed but failed validation
+};
 
 /** Where (and whether) traces are cached. */
 struct TraceCacheOptions
@@ -70,12 +82,43 @@ class TraceCache
 
     /**
      * Open and fully validate the entry at @p path. Returns nullptr on
-     * miss; a *damaged* entry (as opposed to a simply absent one)
-     * additionally logs a warning naming the reason before falling
-     * back.
+     * miss. Transient open/stat/mmap errors are retried with capped
+     * backoff; a *damaged* entry (as opposed to a simply absent one)
+     * logs a warning naming the reason, is quarantined out of the
+     * cache, and @p ops->damaged is set so the caller can rewrite it.
      */
+    std::unique_ptr<MappedTraceFile> openEntry(const std::string &path,
+                                               std::uint64_t fp,
+                                               CacheOpStats *ops) const;
+
+    /** Convenience overload that discards the operation counters. */
     std::unique_ptr<MappedTraceFile>
-    openEntry(const std::string &path, std::uint64_t fp) const;
+    openEntry(const std::string &path, std::uint64_t fp) const
+    {
+        return openEntry(path, fp, nullptr);
+    }
+
+    /**
+     * Move the damaged entry at @p path into <dir>/quarantine/ under a
+     * unique name, next to a .reason file recording @p reason, so it
+     * can be inspected later but can never be opened as a cache entry
+     * again. Falls back to unlinking the entry when the quarantine
+     * directory cannot be used. @return true when the entry was moved
+     */
+    bool quarantineEntry(const std::string &path,
+                         const std::string &reason) const;
+
+    /** Directory damaged entries are moved into. */
+    std::string quarantineDir() const { return opts_.dir + "/quarantine"; }
+
+    /**
+     * Advisory lock file guarding the (re)write of @p entry_path
+     * against concurrent processes (see common/file_lock).
+     */
+    static std::string lockPathFor(const std::string &entry_path)
+    {
+        return entry_path + ".lock";
+    }
 
   private:
     TraceCacheOptions opts_;

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Advisory inter-process file lock (flock) for cache publication.
+ *
+ * Two processes simulating the same (workload, config) pair must not
+ * both rewrite the same cache entry: the tmp+rename publish is atomic,
+ * but concurrent rewriters waste a full simulation each and can
+ * interleave quarantine moves. The publisher therefore takes an
+ * exclusive flock() on a sidecar `<entry>.lock` file around the
+ * validate → quarantine → simulate → publish sequence.
+ *
+ * Staleness is handled by the kernel: an flock dies with the holder's
+ * process (or last duplicated descriptor), so a lock file left behind
+ * by a crash is just an unlocked file — the next acquirer takes it over
+ * immediately. The lock file itself is never deleted; it is a few bytes
+ * of pid for debuggability, keyed next to the entry it guards.
+ */
+
+#ifndef TEA_COMMON_FILE_LOCK_HH
+#define TEA_COMMON_FILE_LOCK_HH
+
+#include <string>
+
+namespace tea {
+
+/** RAII exclusive advisory lock on a named lock file. */
+class FileLock
+{
+  public:
+    FileLock() = default;
+    ~FileLock() { release(); }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /**
+     * Try to take the exclusive lock on @p path, creating the file if
+     * needed, polling (with short sleeps) for up to @p timeout_ms.
+     * Holding a stale file from a dead process never blocks: flock
+     * state does not survive its holder.
+     *
+     * @return true when the lock is held; false on timeout or when the
+     *         lock file cannot be created (degrade, don't fail)
+     */
+    bool acquire(const std::string &path, unsigned timeout_ms);
+
+    /** True while this object holds the lock. */
+    bool held() const { return fd_ >= 0; }
+
+    /** Release the lock (also done by the destructor). */
+    void release();
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_FILE_LOCK_HH

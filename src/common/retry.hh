@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Error classification and retry with capped exponential backoff.
+ *
+ * The self-healing pipeline (DESIGN.md, "Failure model and recovery")
+ * splits I/O failures into two classes:
+ *
+ *  - Transient: the operation may succeed if simply repeated — an
+ *    interrupted syscall, a momentarily exhausted descriptor table, a
+ *    stale NFS handle. These are retried a bounded number of times with
+ *    exponential backoff and deterministic jitter.
+ *  - Permanent: repeating cannot help — disk full, bad medium, missing
+ *    permissions. These degrade immediately (abandon the cache entry,
+ *    fall back to simulation) without wasting retry budget.
+ *
+ * The jitter stream is seeded, so a retried run is reproducible; the
+ * delays are microseconds-scale by default because the cache lives on
+ * local disk (the policy is a knob, not a constant, for tests).
+ */
+
+#ifndef TEA_COMMON_RETRY_HH
+#define TEA_COMMON_RETRY_HH
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hh"
+
+namespace tea {
+
+/** How the self-healing layer should react to a failed operation. */
+enum class ErrorClass : std::uint8_t
+{
+    Transient, ///< worth retrying with backoff
+    Permanent, ///< degrade immediately
+};
+
+/**
+ * Classify an errno value. Unknown values are Permanent: retrying a
+ * failure we cannot name risks retrying forever on a broken disk.
+ */
+inline ErrorClass
+classifyErrno(int err)
+{
+    switch (err) {
+      case EINTR:
+      case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+      case EBUSY:
+      case ENFILE:
+      case EMFILE:
+#ifdef ESTALE
+      case ESTALE:
+#endif
+        return ErrorClass::Transient;
+      default:
+        return ErrorClass::Permanent;
+    }
+}
+
+/** Bounded exponential backoff with deterministic full jitter. */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 4;       ///< total tries, including the first
+    unsigned baseDelayUs = 100;     ///< backoff base (doubles per retry)
+    unsigned maxDelayUs = 10000;    ///< backoff cap
+    std::uint64_t jitterSeed = 0x7ea; ///< seeds the jitter stream
+};
+
+/**
+ * Delay before retry number @p retry (1-based): full jitter over the
+ * capped exponential window, i.e. uniform in [1, min(cap, base*2^(r-1))].
+ */
+inline unsigned
+backoffDelayUs(const RetryPolicy &policy, unsigned retry, Rng &rng)
+{
+    std::uint64_t window = policy.baseDelayUs;
+    for (unsigned i = 1; i < retry && window < policy.maxDelayUs; ++i)
+        window *= 2;
+    if (window > policy.maxDelayUs)
+        window = policy.maxDelayUs;
+    if (window == 0)
+        return 0;
+    return static_cast<unsigned>(rng.below(window) + 1);
+}
+
+/** Counters a retried call site reports up into ReplayStats. */
+struct RetryStats
+{
+    std::uint64_t retries = 0;    ///< individual retry attempts made
+    std::uint64_t recoveries = 0; ///< operations that succeeded after >= 1 retry
+
+    void merge(const RetryStats &other)
+    {
+        retries += other.retries;
+        recoveries += other.recoveries;
+    }
+};
+
+/**
+ * Run @p op until it succeeds, fails permanently, or exhausts the
+ * attempt budget. @p op must return true on success and leave errno set
+ * on failure (simulated failures from failpoints set errno the same
+ * way). Only transient errno values are retried.
+ *
+ * @return true when @p op eventually succeeded
+ */
+template <typename Op>
+bool
+retryTransient(const RetryPolicy &policy, RetryStats &stats, Op &&op)
+{
+    Rng jitter(policy.jitterSeed);
+    for (unsigned attempt = 1;; ++attempt) {
+        errno = 0;
+        if (op()) {
+            if (attempt > 1)
+                ++stats.recoveries;
+            return true;
+        }
+        if (attempt >= policy.maxAttempts ||
+            classifyErrno(errno) != ErrorClass::Transient)
+            return false;
+        ++stats.retries;
+        const unsigned delay = backoffDelayUs(policy, attempt, jitter);
+        if (delay > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delay));
+    }
+}
+
+} // namespace tea
+
+#endif // TEA_COMMON_RETRY_HH

@@ -158,6 +158,17 @@ ReplayStats::render() const
         out += strprintf("  cache: %s, %llu byte(s) on disk\n",
                          cacheHit ? "hit" : "miss (entry stored)",
                          static_cast<unsigned long long>(cacheBytes));
+    if (ioRetries || ioRecoveries || quarantined || workerFailures ||
+        degradedExperiments) {
+        out += strprintf(
+            "  fault: %llu retry(s), %llu recovery(s), %llu "
+            "quarantined, %u worker failure(s), %u degraded "
+            "experiment(s)\n",
+            static_cast<unsigned long long>(ioRetries),
+            static_cast<unsigned long long>(ioRecoveries),
+            static_cast<unsigned long long>(quarantined),
+            workerFailures, degradedExperiments);
+    }
     if (!parallel())
         return out;
     for (const ReplayWorkerStats &w : workers) {
@@ -170,6 +181,9 @@ ReplayStats::render() const
             static_cast<unsigned long long>(w.cyclesReplayed),
             static_cast<unsigned long long>(w.queueEmptyWaits),
             w.cyclesPerSecond() / 1e6);
+        if (!w.error.empty())
+            out += strprintf("  worker %u: FAILED: %s\n", w.workerId,
+                             w.error.c_str());
     }
     return out;
 }

@@ -98,6 +98,15 @@ struct ReplayWorkerStats
     std::uint64_t queueEmptyWaits = 0; ///< times blocked on an empty queue
     double replaySeconds = 0.0;        ///< wall time inside the replay loop
 
+    /**
+     * Non-empty when this worker's observers died mid-replay: the
+     * exception was contained (the worker kept draining the queue so
+     * the producer never deadlocks) and the experiment as a whole is
+     * failed with this message (see DESIGN.md, "Failure model and
+     * recovery").
+     */
+    std::string error;
+
     /** Replay throughput in cycles per second (0 if unmeasured). */
     double cyclesPerSecond() const
     {
@@ -124,6 +133,21 @@ struct ReplayStats
     std::uint64_t cacheBytes = 0; ///< on-disk size of the entry used/made
     double decodeSeconds = 0.0; ///< producer wall time decoding cached chunks
     double replaySeconds = 0.0; ///< observer wall time (max across workers)
+
+    // Self-healing counters (common/retry, analysis/trace_cache
+    // quarantine, and the contained-failure path in the runner).
+    std::uint64_t ioRetries = 0;    ///< transient cache-I/O retry attempts
+    std::uint64_t ioRecoveries = 0; ///< cache-I/O ops that recovered on retry
+    std::uint64_t quarantined = 0;  ///< damaged cache entries quarantined
+    unsigned workerFailures = 0;    ///< replay workers that died (contained)
+
+    /**
+     * Number of experiments that failed (with a contained,
+     * per-experiment error) in the suite run this experiment was part
+     * of; 0 for standalone runs and fully healthy suites. Stamped on
+     * every result of the suite by runBenchmarkSuite.
+     */
+    unsigned degradedExperiments = 0;
 
     /** True when this run went through the threaded replay path. */
     bool parallel() const { return threads > 0; }

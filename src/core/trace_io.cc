@@ -10,6 +10,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "common/failpoint.hh"
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
 #include "core/trace_codec.hh"
@@ -17,6 +18,27 @@
 namespace tea {
 
 namespace {
+
+// Fault-injection seams, one per syscall that can fail in the wild
+// (see DESIGN.md, "Failure model and recovery"). The TraceWriter seams
+// sit on fatal paths by design (an explicit trace dump must never be
+// silently truncated); the CompactTraceWriter/MappedTraceFile seams
+// are on the best-effort cache paths, which degrade or retry instead.
+Failpoint fpWriterOpen("trace_io.writer_open", EIO);
+Failpoint fpWriterWrite("trace_io.writer_write", ENOSPC);
+Failpoint fpWriterFlush("trace_io.writer_flush", ENOSPC);
+Failpoint fpWriterClose("trace_io.writer_close", EIO);
+Failpoint fpReplayOpen("trace_io.replay_open", EIO);
+Failpoint fpReplayRead("trace_io.replay_read", EIO);
+Failpoint fpTmpOpen("trace_io.tmp_open", EIO);
+Failpoint fpReserve("trace_io.reserve", ENOSPC);
+Failpoint fpWriteChunk("trace_io.write_chunk", ENOSPC);
+Failpoint fpSeal("trace_io.seal", ENOSPC);
+Failpoint fpFsync("trace_io.fsync", EIO);
+Failpoint fpCacheClose("trace_io.close", EIO);
+Failpoint fpRename("trace_io.rename", EIO);
+Failpoint fpMapOpen("trace_io.map_open", EIO);
+Failpoint fpMmap("trace_io.mmap", EIO);
 
 // Event tags.
 constexpr std::uint8_t tagCycle = 'C';
@@ -59,6 +81,12 @@ struct DiskCommitted
 TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
+    if (file_ && TEA_FAILPOINT(fpWriterOpen)) {
+        std::fclose(file_); // tea_lint: allow(unchecked-io)
+        std::remove(path.c_str()); // tea_lint: allow(unchecked-io)
+        file_ = nullptr;
+        errno = fpWriterOpen.failErrno();
+    }
     if (!file_)
         tea_fatal("cannot open trace file '%s' for writing",
                   path.c_str());
@@ -79,13 +107,14 @@ TraceWriter::close()
     // invalidate every analysis replayed from it.
     std::FILE *f = file_;
     file_ = nullptr;
-    if (std::fflush(f) != 0 || std::ferror(f)) {
+    if (std::fflush(f) != 0 || std::ferror(f) ||
+        TEA_FAILPOINT(fpWriterFlush)) {
         // Already on the fatal path; the close result adds nothing.
         std::fclose(f); // tea_lint: allow(unchecked-io)
         tea_fatal("error flushing trace file '%s' (disk full?)",
                   path_.c_str());
     }
-    if (std::fclose(f) != 0)
+    if (std::fclose(f) != 0 || TEA_FAILPOINT(fpWriterClose))
         tea_fatal("error closing trace file '%s'", path_.c_str());
 }
 
@@ -93,7 +122,8 @@ void
 TraceWriter::put(const void *data, std::size_t bytes)
 {
     tea_assert(file_, "trace file '%s' already closed", path_.c_str());
-    if (std::fwrite(data, 1, bytes, file_) != bytes)
+    if (std::fwrite(data, 1, bytes, file_) != bytes ||
+        TEA_FAILPOINT(fpWriterWrite))
         tea_fatal("short write to trace file '%s' (disk full?)",
                   path_.c_str());
 }
@@ -161,11 +191,17 @@ replayTrace(const std::string &path,
             const std::vector<TraceSink *> &sinks)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f && TEA_FAILPOINT(fpReplayOpen)) {
+        std::fclose(f); // tea_lint: allow(unchecked-io)
+        f = nullptr;
+        errno = fpReplayOpen.failErrno();
+    }
     if (!f)
         tea_fatal("cannot open trace file '%s'", path.c_str());
 
     auto get = [&](void *data, std::size_t bytes) {
-        if (std::fread(data, 1, bytes, f) != bytes)
+        if (std::fread(data, 1, bytes, f) != bytes ||
+            TEA_FAILPOINT(fpReplayRead))
             tea_fatal("truncated trace file '%s'", path.c_str());
     };
 
@@ -284,7 +320,18 @@ CompactTraceWriter::CompactTraceWriter(std::string final_path,
                          static_cast<long>(::getpid()),
                          static_cast<unsigned long long>(
                              unique.fetch_add(1)));
-    file_ = std::fopen(tmpPath_.c_str(), "wb");
+    // Opening the tmp file can hit transient conditions (EMFILE under
+    // a loaded suite, EINTR): retry with backoff before giving up.
+    retryTransient(retryPolicy_, retryStats_, [&] {
+        file_ = std::fopen(tmpPath_.c_str(), "wb");
+        if (file_ && TEA_FAILPOINT(fpTmpOpen)) {
+            std::fclose(file_); // tea_lint: allow(unchecked-io)
+            std::remove(tmpPath_.c_str()); // tea_lint: allow(unchecked-io)
+            file_ = nullptr;
+            errno = fpTmpOpen.failErrno();
+        }
+        return file_ != nullptr;
+    });
     if (!file_) {
         tea_warn("trace cache: cannot create '%s' (%s); caching of this "
                  "entry disabled",
@@ -296,7 +343,8 @@ CompactTraceWriter::CompactTraceWriter(std::string final_path,
     TraceFileHeader zero{};
     CoreStats stats{};
     if (std::fwrite(&zero, 1, sizeof(zero), file_) != sizeof(zero) ||
-        std::fwrite(&stats, 1, sizeof(stats), file_) != sizeof(stats))
+        std::fwrite(&stats, 1, sizeof(stats), file_) != sizeof(stats) ||
+        TEA_FAILPOINT(fpReserve))
         abandon();
 }
 
@@ -323,8 +371,15 @@ CompactTraceWriter::writeChunk(const TraceChunk &chunk)
         return;
     scratch_.clear();
     encodeChunk(chunk, scratch_);
-    if (std::fwrite(scratch_.data(), 1, scratch_.size(), file_) !=
-        scratch_.size()) {
+    std::size_t wrote = std::fwrite(scratch_.data(), 1, scratch_.size(),
+                                    file_);
+    if (TEA_FAILPOINT(fpWriteChunk)) {
+        errno = fpWriteChunk.failErrno();
+        wrote = scratch_.size() / 2; // simulated short write
+    }
+    if (wrote != scratch_.size()) {
+        // A short write leaves the frame stream unsealable; no retry
+        // can resume mid-frame, so the entry is abandoned outright.
         tea_warn("trace cache: short write to '%s' (disk full?); "
                  "abandoning entry",
                  tmpPath_.c_str());
@@ -361,13 +416,23 @@ CompactTraceWriter::commit(const CoreStats &stats)
     hdr.statsCrc = crc32(0, &stats, sizeof(stats));
     hdr.headerCrc = headerSelfCrc(hdr);
 
-    bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
-              std::fwrite(&hdr, 1, sizeof(hdr), file_) == sizeof(hdr) &&
-              std::fwrite(&stats, 1, sizeof(stats), file_) ==
-                  sizeof(stats) &&
-              std::fflush(file_) == 0 &&
-              ::fsync(::fileno(file_)) == 0;
-    if (!ok) {
+    bool sealed = std::fseek(file_, 0, SEEK_SET) == 0 &&
+                  std::fwrite(&hdr, 1, sizeof(hdr), file_) ==
+                      sizeof(hdr) &&
+                  std::fwrite(&stats, 1, sizeof(stats), file_) ==
+                      sizeof(stats) &&
+                  std::fflush(file_) == 0 && !TEA_FAILPOINT(fpSeal);
+    // fsync is routinely interrupted (EINTR) on loaded boxes: retry
+    // transient failures before declaring the entry lost.
+    bool synced =
+        sealed && retryTransient(retryPolicy_, retryStats_, [&] {
+            if (TEA_FAILPOINT(fpFsync)) {
+                errno = fpFsync.failErrno();
+                return false;
+            }
+            return ::fsync(::fileno(file_)) == 0;
+        });
+    if (!synced) {
         tea_warn("trace cache: error sealing '%s' (disk full?); "
                  "abandoning entry",
                  tmpPath_.c_str());
@@ -378,14 +443,28 @@ CompactTraceWriter::commit(const CoreStats &stats)
     // mean a lost buffer on some filesystems: propagate, don't publish.
     std::FILE *f = file_;
     file_ = nullptr;
-    if (std::fclose(f) != 0) {
+    bool close_ok = std::fclose(f) == 0;
+    if (close_ok && TEA_FAILPOINT(fpCacheClose)) {
+        errno = fpCacheClose.failErrno();
+        close_ok = false;
+    }
+    if (!close_ok) {
         tea_warn("trace cache: error closing '%s' (%s); abandoning "
                  "entry",
                  tmpPath_.c_str(), std::strerror(errno));
         std::remove(tmpPath_.c_str()); // tea_lint: allow(unchecked-io)
         return false;
     }
-    if (std::rename(tmpPath_.c_str(), finalPath_.c_str()) != 0) {
+    const bool published =
+        retryTransient(retryPolicy_, retryStats_, [&] {
+            if (TEA_FAILPOINT(fpRename)) {
+                errno = fpRename.failErrno();
+                return false;
+            }
+            return std::rename(tmpPath_.c_str(),
+                               finalPath_.c_str()) == 0;
+        });
+    if (!published) {
         tea_warn("trace cache: cannot publish '%s' (%s)",
                  finalPath_.c_str(), std::strerror(errno));
         // Publication already failed and was warned about above.
@@ -404,8 +483,11 @@ MappedTraceFile::~MappedTraceFile()
 std::unique_ptr<MappedTraceFile>
 MappedTraceFile::open(const std::string &path,
                       std::uint64_t expected_fingerprint,
-                      std::string *why_not)
+                      std::string *why_not, int *sys_err)
 {
+    if (sys_err)
+        *sys_err = 0; // validation damage by default, not a syscall error
+
     auto reject = [&](const std::string &why) {
         if (why_not)
             *why_not = why;
@@ -413,10 +495,20 @@ MappedTraceFile::open(const std::string &path,
     };
 
     int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
+    if (fd >= 0 && TEA_FAILPOINT(fpMapOpen)) {
+        ::close(fd);
+        fd = -1;
+        errno = fpMapOpen.failErrno();
+    }
+    if (fd < 0) {
+        if (sys_err)
+            *sys_err = errno;
         return reject(strprintf("cannot open: %s", std::strerror(errno)));
+    }
     struct ::stat st{};
     if (::fstat(fd, &st) != 0) {
+        if (sys_err)
+            *sys_err = errno;
         ::close(fd);
         return reject("cannot stat");
     }
@@ -427,8 +519,16 @@ MappedTraceFile::open(const std::string &path,
     }
     void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd); // the mapping keeps the file alive
-    if (map == MAP_FAILED)
+    if (map != MAP_FAILED && TEA_FAILPOINT(fpMmap)) {
+        ::munmap(map, size);
+        map = MAP_FAILED;
+        errno = fpMmap.failErrno();
+    }
+    if (map == MAP_FAILED) {
+        if (sys_err)
+            *sys_err = errno;
         return reject(strprintf("mmap failed: %s", std::strerror(errno)));
+    }
 
     // Private constructor, so make_unique cannot reach it.
     std::unique_ptr<MappedTraceFile> f(

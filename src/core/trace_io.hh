@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.hh"
 #include "core/core.hh"
 #include "core/trace.hh"
 #include "core/trace_buffer.hh"
@@ -112,6 +113,13 @@ class CompactTraceWriter
      */
     std::uint64_t bytesWritten() const;
 
+    /**
+     * Transient-I/O retry counters for this entry (tmp-file creation,
+     * fsync and the publishing rename are retried with backoff; see
+     * common/retry.hh). Merged into ReplayStats by the runner.
+     */
+    const RetryStats &retryStats() const { return retryStats_; }
+
   private:
     void abandon();
 
@@ -124,6 +132,8 @@ class CompactTraceWriter
     std::uint64_t cycleCount_ = 0;
     std::uint64_t payloadBytes_ = 0;
     std::vector<std::uint8_t> scratch_; ///< reused frame encode buffer
+    RetryPolicy retryPolicy_;
+    RetryStats retryStats_;
 };
 
 /**
@@ -151,12 +161,16 @@ class MappedTraceFile
      * @param expected_fingerprint the (workload, config, codec) key the
      *        caller derived; a mismatch rejects the file
      * @param why_not set to a human-readable reason on failure
+     * @param sys_err set to the failing syscall's errno when the
+     *        rejection came from open/stat/mmap (so the caller can
+     *        classify it transient and retry), 0 when the file itself
+     *        failed validation (damage — retrying cannot help)
      * @return the reader, or nullptr when the file is missing, stale,
      *         truncated or corrupt
      */
     static std::unique_ptr<MappedTraceFile>
     open(const std::string &path, std::uint64_t expected_fingerprint,
-         std::string *why_not);
+         std::string *why_not, int *sys_err = nullptr);
 
     /** Simulation statistics captured when the trace was recorded. */
     const CoreStats &coreStats() const { return stats_; }

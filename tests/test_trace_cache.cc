@@ -98,26 +98,39 @@ class TempCacheDir
 
     ~TempCacheDir()
     {
-        if (dir_.empty())
-            return;
-        if (DIR *d = ::opendir(dir_.c_str())) {
-            while (struct dirent *e = ::readdir(d)) {
-                std::string name = e->d_name;
-                if (name != "." && name != "..")
-                    std::remove((dir_ + "/" + name).c_str());
-            }
-            ::closedir(d);
-        }
-        ::rmdir(dir_.c_str());
+        if (!dir_.empty())
+            removeTree(dir_);
     }
 
     const std::string &path() const { return dir_; }
 
-    /** Files currently in the directory (entry names, unsorted). */
+    /**
+     * Cache entries (*.teatrc) currently in the directory, unsorted.
+     * Lock files and the quarantine subdirectory are bookkeeping, not
+     * entries, and are excluded.
+     */
     std::vector<std::string> entries() const
     {
         std::vector<std::string> out;
-        if (DIR *d = ::opendir(dir_.c_str())) {
+        for (const std::string &name : list(dir_)) {
+            if (name.size() > 7 &&
+                name.compare(name.size() - 7, 7, ".teatrc") == 0)
+                out.push_back(name);
+        }
+        return out;
+    }
+
+    /** All names in @p sub (relative to the cache dir; "" = root). */
+    std::vector<std::string> listDir(const std::string &sub = "") const
+    {
+        return list(sub.empty() ? dir_ : dir_ + "/" + sub);
+    }
+
+  private:
+    static std::vector<std::string> list(const std::string &at)
+    {
+        std::vector<std::string> out;
+        if (DIR *d = ::opendir(at.c_str())) {
             while (struct dirent *e = ::readdir(d)) {
                 std::string name = e->d_name;
                 if (name != "." && name != "..")
@@ -128,7 +141,19 @@ class TempCacheDir
         return out;
     }
 
-  private:
+    static void removeTree(const std::string &at)
+    {
+        for (const std::string &name : list(at)) {
+            const std::string full = at + "/" + name;
+            struct ::stat st{};
+            if (::lstat(full.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+                removeTree(full);
+            else
+                std::remove(full.c_str());
+        }
+        ::rmdir(at.c_str());
+    }
+
     std::string dir_;
 };
 

@@ -9,6 +9,11 @@
 #include <gtest/gtest.h>
 #include <vector>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/failpoint.hh"
 #include "common/rng.hh"
 #include "core/trace_buffer.hh"
 #include "core/trace_codec.hh"
@@ -381,4 +386,221 @@ TEST(TraceIo, MissingFileIsFatal)
 {
     EXPECT_EXIT(replayTrace("/nonexistent/tea.bin", {}),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: every I/O syscall in this file has a failpoint seam
+// (common/failpoint). The TraceWriter/replayTrace seams are fatal by
+// contract (an explicit dump must never be silently truncated); the
+// trace-cache seams must degrade — warn, abandon the entry, leave no
+// temporary behind, and never touch the experiment's correctness.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Fault-injection fixture: all seams disarmed before and after. */
+class TraceIoFaults : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!failpoints::compiledIn())
+            GTEST_SKIP() << "failpoint seams compiled out";
+        failpoints::resetAll();
+    }
+    void TearDown() override { failpoints::resetAll(); }
+};
+
+/** A scratch directory removed (with contents) on destruction. */
+struct TempDir
+{
+    std::string path;
+    TempDir()
+    {
+        char tmpl[] = "/tmp/tea-trace-io-fault-XXXXXX";
+        const char *d = ::mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        path = d ? d : "";
+    }
+    ~TempDir()
+    {
+        for (const std::string &name : list())
+            std::remove((path + "/" + name).c_str());
+        ::rmdir(path.c_str());
+    }
+    std::vector<std::string> list() const
+    {
+        std::vector<std::string> out;
+        if (DIR *d = ::opendir(path.c_str())) {
+            while (struct dirent *e = ::readdir(d)) {
+                std::string name = e->d_name;
+                if (name != "." && name != "..")
+                    out.push_back(name);
+            }
+            ::closedir(d);
+        }
+        return out;
+    }
+};
+
+/** One structurally valid chunk to feed the cache writer. */
+TraceChunk
+sampleChunk()
+{
+    TraceChunk chunk;
+    chunk.events = randomEvents(0xfau, 200);
+    for (const TraceEvent &ev : chunk.events) {
+        if (ev.kind == TraceEventKind::Cycle)
+            ++chunk.cycleRecords;
+    }
+    return chunk;
+}
+
+} // namespace
+
+TEST_F(TraceIoFaults, WriterSyscallFailuresAreFatal)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/dump.bin";
+
+    failpoints::configure("trace_io.writer_open", "always@eio");
+    EXPECT_EXIT(TraceWriter{path}, ::testing::ExitedWithCode(1),
+                "cannot open trace file");
+    failpoints::resetAll();
+
+    failpoints::configure("trace_io.writer_write", "always@enospc");
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(path);
+            writeEvents(randomEvents(3, 10), writer);
+        },
+        ::testing::ExitedWithCode(1), "short write");
+    failpoints::resetAll();
+
+    failpoints::configure("trace_io.writer_flush", "always@enospc");
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(path);
+            writeEvents(randomEvents(3, 10), writer);
+        },
+        ::testing::ExitedWithCode(1), "error flushing");
+    failpoints::resetAll();
+
+    failpoints::configure("trace_io.writer_close", "always@eio");
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(path);
+            writeEvents(randomEvents(3, 10), writer);
+        },
+        ::testing::ExitedWithCode(1), "error closing");
+}
+
+TEST_F(TraceIoFaults, ReplaySyscallFailuresAreFatal)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/replay.bin";
+    {
+        TraceWriter writer(path);
+        writeEvents(randomEvents(11, 50), writer);
+    }
+
+    failpoints::configure("trace_io.replay_open", "always@eio");
+    EXPECT_EXIT(replayTrace(path, {}), ::testing::ExitedWithCode(1),
+                "cannot open trace file");
+    failpoints::resetAll();
+
+    failpoints::configure("trace_io.replay_read", "always@eio");
+    EXPECT_EXIT(replayTrace(path, {}), ::testing::ExitedWithCode(1),
+                "truncated trace file");
+}
+
+TEST_F(TraceIoFaults, CacheWriterSeamsDegradeWithoutLeakingTmp)
+{
+    // Simulated full disk (ENOSPC) on every cache-write seam in turn:
+    // the writer must warn and abandon — never exit, never publish, and
+    // never leave a *.tmp behind.
+    const char *seams[] = {
+        "trace_io.tmp_open", "trace_io.reserve", "trace_io.write_chunk",
+        "trace_io.seal",     "trace_io.fsync",   "trace_io.close",
+        "trace_io.rename",
+    };
+    const TraceChunk chunk = sampleChunk();
+    for (const char *seam : seams) {
+        SCOPED_TRACE(seam);
+        TempDir dir;
+        const std::string path = dir.path + "/entry.teatrc";
+        failpoints::configure(seam, "always@enospc");
+        {
+            CompactTraceWriter writer(path, 77);
+            writer.writeChunk(chunk);
+            EXPECT_FALSE(writer.commit(CoreStats{}));
+        }
+        failpoints::resetAll();
+        EXPECT_TRUE(dir.list().empty())
+            << "seam left files behind: " << dir.list().front();
+
+        // With the seam disarmed the same sequence publishes fine.
+        {
+            CompactTraceWriter writer(path, 77);
+            writer.writeChunk(chunk);
+            EXPECT_TRUE(writer.commit(CoreStats{}));
+        }
+        std::string why;
+        EXPECT_NE(MappedTraceFile::open(path, 77, &why), nullptr) << why;
+    }
+}
+
+TEST_F(TraceIoFaults, TransientFsyncFailureIsRetriedAndRecovered)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/entry.teatrc";
+    failpoints::configure("trace_io.fsync", "nth:1@eagain");
+    CompactTraceWriter writer(path, 5);
+    writer.writeChunk(sampleChunk());
+    EXPECT_TRUE(writer.commit(CoreStats{}));
+    EXPECT_EQ(writer.retryStats().retries, 1u);
+    EXPECT_EQ(writer.retryStats().recoveries, 1u);
+    std::string why;
+    EXPECT_NE(MappedTraceFile::open(path, 5, &why), nullptr) << why;
+}
+
+TEST_F(TraceIoFaults, MapSyscallFailuresReportErrnoToCaller)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/entry.teatrc";
+    {
+        CompactTraceWriter writer(path, 9);
+        writer.writeChunk(sampleChunk());
+        ASSERT_TRUE(writer.commit(CoreStats{}));
+    }
+
+    for (const char *seam : {"trace_io.map_open", "trace_io.mmap"}) {
+        SCOPED_TRACE(seam);
+        failpoints::configure(seam, "always@eio");
+        std::string why;
+        int sys_err = 0;
+        EXPECT_EQ(MappedTraceFile::open(path, 9, &why, &sys_err),
+                  nullptr);
+        EXPECT_EQ(sys_err, EIO); // syscall failure, not damage
+        failpoints::resetAll();
+    }
+
+    // Validation damage reports sys_err == 0: retrying cannot help.
+    std::string why;
+    int sys_err = 123;
+    EXPECT_EQ(MappedTraceFile::open(path, 10, &why, &sys_err), nullptr);
+    EXPECT_EQ(sys_err, 0);
+    EXPECT_NE(why.find("fingerprint"), std::string::npos) << why;
+}
+
+TEST_F(TraceIoFaults, WriterAbandonsOnScopeExitWithoutCommit)
+{
+    TempDir dir;
+    const std::string path = dir.path + "/entry.teatrc";
+    {
+        CompactTraceWriter writer(path, 3);
+        writer.writeChunk(sampleChunk());
+        // No commit: simulated experiment death mid-write.
+    }
+    EXPECT_TRUE(dir.list().empty());
 }

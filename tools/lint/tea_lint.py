@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """tea_lint: project-specific static rules for the TEA tree.
 
-Four rules, each enforcing an invariant the compiler cannot:
+Five rules, each enforcing an invariant the compiler cannot:
 
   naked-new          No naked `new` / `malloc`-family allocation in src/
                      outside allocator shims: ownership must be typed
@@ -27,6 +27,17 @@ Four rules, each enforcing an invariant the compiler cannot:
                      member is added). Suppress with
                      `tea_lint: allow(partial-switch)` on or just above
                      the switch.
+
+  unguarded-worker   Every lambda handed to a std::thread (directly or
+                     via emplace_back/push_back on a
+                     std::vector<std::thread>) must contain a `catch`:
+                     an exception escaping a thread body is
+                     std::terminate, which turns a containable
+                     per-experiment fault into process death. When the
+                     body provably cannot throw (e.g. it only calls a
+                     callee that catches internally), annotate the
+                     spawn site with `tea_lint: allow(unguarded-worker)`
+                     and say why in a comment.
 
 Exit status 0 when clean; 1 with `file:line: [rule] message` diagnostics
 otherwise.
@@ -261,6 +272,51 @@ class Linter:
                                  f"switch over {enum} misses "
                                  f"enumerator(s): {', '.join(missing)}")
 
+    # --- rule: unguarded-worker ------------------------------------------
+
+    THREAD_VEC_RE = re.compile(r"std::vector\s*<\s*std::thread\s*>\s*(\w+)")
+
+    def check_worker_guards(self, path: Path, stripped: str,
+                            raw_lines: list[str]):
+        vec_names = set(self.THREAD_VEC_RE.findall(stripped))
+        spawn_res = [re.compile(r"\bstd::thread\s*\w*\s*[({]\s*\[")]
+        if vec_names:
+            names = "|".join(re.escape(n) for n in vec_names)
+            spawn_res.append(re.compile(
+                r"\b(?:" + names + r")\s*\.\s*"
+                r"(?:emplace_back|push_back)\s*\(\s*\["))
+        for spawn_re in spawn_res:
+            for m in spawn_re.finditer(stripped):
+                lineno = stripped.count("\n", 0, m.start()) + 1
+                body = self.lambda_body(stripped, m.end() - 1)
+                if body is None or re.search(r"\bcatch\b", body):
+                    continue
+                if allows(raw_lines, lineno, "unguarded-worker"):
+                    continue
+                self.violate(path, lineno, "unguarded-worker",
+                             "thread-body lambda has no catch: an "
+                             "escaped exception is std::terminate; "
+                             "contain it (or annotate `tea_lint: "
+                             "allow(unguarded-worker)` when the body "
+                             "cannot throw)")
+
+    @staticmethod
+    def lambda_body(stripped: str, capture_open: int) -> str | None:
+        """Body of the lambda whose `[` is at `capture_open`, or None
+        when no balanced `{...}` follows (e.g. a parse oddity)."""
+        start = stripped.find("{", capture_open)
+        if start < 0:
+            return None
+        depth = 0
+        for i in range(start, len(stripped)):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    return stripped[start:i + 1]
+        return None
+
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
@@ -288,6 +344,7 @@ class Linter:
             if path.name == "trace_io.cc":
                 self.check_unchecked_io(path, stripped, raw_lines)
             self.check_enum_switches(path, stripped, raw_lines, members)
+            self.check_worker_guards(path, stripped, raw_lines)
 
         if self.violations:
             for v in self.violations:
@@ -295,7 +352,7 @@ class Linter:
             print(f"tea_lint: FAIL ({len(self.violations)} violation(s) "
                   f"in {self.files_checked} files)")
             return 1
-        print(f"tea_lint: PASS ({self.files_checked} files, 4 rules)")
+        print(f"tea_lint: PASS ({self.files_checked} files, 5 rules)")
         return 0
 
 
