@@ -48,8 +48,8 @@ main()
     for (std::size_t n = 0; n < names.size(); ++n) {
         const ExperimentResult &res = all[n];
         if (show_stats) {
-            std::printf("%s: %.2f s\n", names[n].c_str(),
-                        res.replay.totalSeconds);
+            std::printf("%s: %s\n", names[n].c_str(),
+                        res.replay.renderLine().c_str());
         }
         std::vector<std::string> row{names[n]};
         for (std::size_t i = 0; i < res.techniques.size(); ++i) {

@@ -358,6 +358,8 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
                 });
         }
         res.stats = core.stats();
+        res.replay.simCycles = core.stats().cycles;
+        res.replay.simEvents = core.perf().traceEvents;
         if (writer) {
             res.replay.cacheStored = writer->commit(core.stats());
             res.replay.cacheBytes = writer->bytesWritten();

@@ -69,6 +69,8 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     // decode/replay buckets belong to the cache-hit and threaded paths.
     res.replay.simulateSeconds =
         std::chrono::duration<double>(Clock::now() - sim_start).count();
+    res.replay.simCycles = core.stats().cycles;
+    res.replay.simEvents = core.perf().traceEvents;
 
     res.stats = core.stats();
     for (auto &s : samplers) {

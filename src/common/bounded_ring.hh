@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring over contiguous storage.
+ *
+ * The core's per-cycle queues (fetch buffer, load/store queues) are
+ * bounded by configuration and popped strictly from the front, yet were
+ * modelled as std::deque — a chunked allocator whose iteration and
+ * pop_front touch cold metadata on the hottest simulator paths. This
+ * ring keeps the same program-order semantics (push_back / pop_front /
+ * indexed scan from the front) in one pre-reserved allocation: capacity
+ * is rounded to a power of two so indexing is a mask, elements are
+ * never reallocated or shifted, and pop_front is a head-index bump that
+ * leaves the slot intact for reuse (preserving any heap capacity the
+ * element type owns, e.g. a reused vector member).
+ *
+ * Not a general-purpose container: capacity is fixed after reserve(),
+ * overflow is a programming error (tea_assert), and iteration is by
+ * index — which is how every scan in the core is written.
+ */
+
+#ifndef TEA_COMMON_BOUNDED_RING_HH
+#define TEA_COMMON_BOUNDED_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tea {
+
+template <typename T>
+class BoundedRing
+{
+  public:
+    BoundedRing() = default;
+
+    /**
+     * Fix the capacity to at least @p cap elements (rounded up to a
+     * power of two) and allocate the backing storage once. Must be
+     * called before the first push_back; calling again is only legal
+     * while empty.
+     */
+    void reserve(std::size_t cap)
+    {
+        tea_assert(count_ == 0, "BoundedRing::reserve on non-empty ring");
+        std::size_t n = 1;
+        while (n < cap)
+            n <<= 1;
+        buf_.resize(n);
+        mask_ = n - 1;
+        head_ = 0;
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Element @p i positions behind the front (0 == front). */
+    T &operator[](std::size_t i)
+    {
+        tea_assert(i < count_, "BoundedRing index %zu out of range", i);
+        return buf_[(head_ + i) & mask_];
+    }
+    const T &operator[](std::size_t i) const
+    {
+        tea_assert(i < count_, "BoundedRing index %zu out of range", i);
+        return buf_[(head_ + i) & mask_];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[count_ - 1]; }
+    const T &back() const { return (*this)[count_ - 1]; }
+
+    void push_back(T v)
+    {
+        tea_assert(count_ < buf_.size(), "BoundedRing overflow (cap %zu)",
+                   buf_.size());
+        buf_[(head_ + count_) & mask_] = std::move(v);
+        ++count_;
+    }
+
+    void pop_front()
+    {
+        tea_assert(count_ > 0, "BoundedRing::pop_front on empty ring");
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_BOUNDED_RING_HH

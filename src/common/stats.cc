@@ -154,6 +154,11 @@ ReplayStats::render() const
             "total %.3f s\n",
             simulateSeconds, decodeSeconds, replaySeconds, totalSeconds);
     }
+    if (simCycles > 0 && simulateSeconds > 0.0) {
+        out += strprintf(
+            "  simulate throughput: %.2f Mcycles/s, %.2f Mevents/s\n",
+            simCyclesPerSecond() / 1e6, simEventsPerSecond() / 1e6);
+    }
     if (cacheHit || cacheStored)
         out += strprintf("  cache: %s, %llu byte(s) on disk\n",
                          cacheHit ? "hit" : "miss (entry stored)",
@@ -185,6 +190,20 @@ ReplayStats::render() const
             out += strprintf("  worker %u: FAILED: %s\n", w.workerId,
                              w.error.c_str());
     }
+    return out;
+}
+
+std::string
+ReplayStats::renderLine() const
+{
+    std::string out = strprintf("%.2f s total", totalSeconds);
+    if (simCycles > 0 && simulateSeconds > 0.0) {
+        out += strprintf(
+            " (simulate %.2f s, %.2f Mcycles/s, %.2f Mevents/s)",
+            simulateSeconds, simCyclesPerSecond() / 1e6,
+            simEventsPerSecond() / 1e6);
+    }
+    out += cacheHit ? " [cache hit]" : "";
     return out;
 }
 

@@ -125,6 +125,8 @@ struct ReplayStats
     std::uint64_t queueFullStalls = 0; ///< producer-side backpressure hits
     double simulateSeconds = 0.0;      ///< core-model simulation wall time
     double totalSeconds = 0.0;         ///< whole-experiment wall time
+    std::uint64_t simCycles = 0;  ///< cycles simulated (0 on a cache hit)
+    std::uint64_t simEvents = 0;  ///< trace events the simulation emitted
     std::vector<ReplayWorkerStats> workers;
 
     // Trace-cache counters (see analysis/trace_cache).
@@ -152,8 +154,31 @@ struct ReplayStats
     /** True when this run went through the threaded replay path. */
     bool parallel() const { return threads > 0; }
 
+    /** Simulate-phase throughput in cycles/second (0 if unmeasured). */
+    double simCyclesPerSecond() const
+    {
+        return simulateSeconds > 0.0
+                   ? static_cast<double>(simCycles) / simulateSeconds
+                   : 0.0;
+    }
+
+    /** Simulate-phase throughput in events/second (0 if unmeasured). */
+    double simEventsPerSecond() const
+    {
+        return simulateSeconds > 0.0
+                   ? static_cast<double>(simEvents) / simulateSeconds
+                   : 0.0;
+    }
+
     /** Multi-line human-readable listing of all counters. */
     std::string render() const;
+
+    /**
+     * One-line summary for per-experiment status output (the
+     * TEA_RUNNER_STATS line): total time, simulate-phase throughput
+     * when this run simulated, and the trace source.
+     */
+    std::string renderLine() const;
 };
 
 } // namespace tea

@@ -50,6 +50,7 @@ CacheArray::contains(Addr line) const
     return find(line) != nullptr;
 }
 
+// tea_lint: hot
 bool
 CacheArray::access(Addr line)
 {
@@ -63,6 +64,7 @@ CacheArray::access(Addr line)
     return false;
 }
 
+// tea_lint: hot
 Eviction
 CacheArray::insert(Addr line, bool dirty)
 {
@@ -114,6 +116,7 @@ MshrFile::MshrFile(unsigned entries) : entries_(entries)
     pending_.reserve(entries);
 }
 
+// tea_lint: hot
 void
 MshrFile::prune(Cycle now)
 {
@@ -129,6 +132,7 @@ MshrFile::prune(Cycle now)
     }
 }
 
+// tea_lint: hot
 MshrFile::Pending *
 MshrFile::find(Addr line)
 {
@@ -139,6 +143,7 @@ MshrFile::find(Addr line)
     return nullptr;
 }
 
+// tea_lint: hot
 Cycle
 MshrFile::allocatableAt(Cycle now)
 {
@@ -151,6 +156,7 @@ MshrFile::allocatableAt(Cycle now)
     return earliest;
 }
 
+// tea_lint: hot
 void
 MshrFile::allocate(Addr line, Cycle fill)
 {
@@ -160,6 +166,7 @@ MshrFile::allocate(Addr line, Cycle fill)
         pending_.push_back(Pending{line, fill});
 }
 
+// tea_lint: hot
 Cycle
 MshrFile::outstandingFill(Addr line, Cycle now)
 {

@@ -1,11 +1,19 @@
 #include "core/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "isa/memory.hh"
 
 namespace tea {
+
+namespace {
+
+/** Core-side trace staging capacity (events buffered between flushes). */
+constexpr std::size_t traceBatchEvents = 4096;
+
+} // namespace
 
 std::string
 CoreStats::render() const
@@ -64,9 +72,7 @@ Core::Core(const CoreConfig &cfg, const Program &prog, ArchState initial)
       fetchPc_(prog.entry()),
       rob_(cfg.robEntries)
 {
-    tea_assert(cfg.commitWidth <= committedThisCycle_.size(),
-               "commit width %u too large", cfg.commitWidth);
-    lastWriter_.fill(invalidSeqNum);
+    init();
 }
 
 Core::Core(const CoreConfig &cfg, const Program &prog, ArchState initial,
@@ -79,15 +85,107 @@ Core::Core(const CoreConfig &cfg, const Program &prog, ArchState initial,
       fetchPc_(prog.entry()),
       rob_(cfg.robEntries)
 {
-    tea_assert(cfg.commitWidth <= committedThisCycle_.size(),
-               "commit width %u too large", cfg.commitWidth);
+    init();
+}
+
+void
+Core::init()
+{
+    tea_assert(cfg_.commitWidth <= committedThisCycle_.size(),
+               "commit width %u too large", cfg_.commitWidth);
     lastWriter_.fill(invalidSeqNum);
+
+    // Every container touched per cycle is sized once, here: the hot
+    // stages (annotated `tea_lint: hot`) must never allocate.
+    fetchBuffer_.reserve(cfg_.fetchBufferEntries);
+    sq_.reserve(cfg_.sqEntries);
+    lq_.reserve(cfg_.lqEntries);
+    // Worst case per class: a squash re-enqueues every unissued ROB
+    // entry, which can exceed the dispatch-time IQ capacity.
+    for (unsigned k = 0; k < NumIqs; ++k)
+        iqs_[k].reserve(cfg_.robEntries);
+    for (DynUop &u : rob_)
+        u.waiters.reserve(8);
+    iqMinReady_.fill(0);
+    wake_.reserve(256);
+    traceBuf_.reserve(traceBatchEvents);
+
+    if (const char *v = std::getenv("TEA_CORE_FASTPATH")) {
+        if (v[0] != '\0')
+            fastPath_ = !(v[0] == '0' && v[1] == '\0');
+    }
 }
 
 void
 Core::addSink(TraceSink *sink)
 {
     sinks_.push_back(sink);
+}
+
+// tea_lint: hot
+void
+Core::scheduleWake(Cycle at)
+{
+    if (at == invalidCycle || at <= cycle_)
+        return;
+    // Next-cycle wakes dominate (every active stage re-arms cycle+1,
+    // and single-cycle completions land there too); a sticky flag keeps
+    // them out of the heap entirely, so chains of busy cycles cost no
+    // heap traffic at all.
+    if (at == cycle_ + 1) {
+        wakeNext_ = true;
+        return;
+    }
+    if (!wake_.empty() && wake_.front() == at)
+        return;
+    wake_.push_back(at);
+    std::push_heap(wake_.begin(), wake_.end(), std::greater<Cycle>());
+}
+
+// tea_lint: hot
+Cycle
+Core::nextWakeAtLeast(Cycle at)
+{
+    while (!wake_.empty() && wake_.front() < at) {
+        std::pop_heap(wake_.begin(), wake_.end(), std::greater<Cycle>());
+        wake_.pop_back();
+        ++perf_.wakeups;
+    }
+    return wake_.empty() ? invalidCycle : wake_.front();
+}
+
+// tea_lint: hot
+TraceEvent &
+Core::traceAppend(TraceEventKind kind)
+{
+    if (traceBuf_.size() == traceBatchEvents)
+        flushTrace();
+    traceBuf_.emplace_back();
+    TraceEvent &ev = traceBuf_.back();
+    ev.kind = kind;
+    return ev;
+}
+
+// tea_lint: hot
+void
+Core::flushTrace()
+{
+    if (traceBuf_.empty())
+        return;
+    perf_.traceEvents += traceBuf_.size();
+    for (TraceSink *s : sinks_)
+        s->onBatch(traceBuf_.data(), traceBuf_.size());
+    traceBuf_.clear();
+}
+
+void
+Core::emitEnd()
+{
+    flushTrace();
+    if (!sinks_.empty())
+        ++perf_.traceEvents;
+    for (TraceSink *s : sinks_)
+        s->onEnd(cycle_);
 }
 
 Core::DynUop *
@@ -150,17 +248,23 @@ Core::execLatency(InstClass cls) const
     tea_panic("no fixed latency for class %d", static_cast<int>(cls));
 }
 
+// tea_lint: hot
 void
 Core::scheduleCompletion(DynUop &u, Cycle complete_at)
 {
     u.issued = true;
     u.completeCycle = complete_at;
+    scheduleWake(complete_at);
     for (SeqNum w : u.waiters) {
         if (DynUop *c = uopFor(w)) {
             tea_assert(c->pendingDeps > 0, "wakeup underflow at seq %lu",
                        static_cast<unsigned long>(w));
             --c->pendingDeps;
             c->readyCycle = std::max(c->readyCycle, complete_at);
+            // Last dependency satisfied: this entry's queue must be
+            // scanned again no later than its ready cycle.
+            if (c->pendingDeps == 0 && c->si->cls() != InstClass::Nop)
+                iqWake(iqOf(c->si->cls()), c->readyCycle);
         }
     }
     u.waiters.clear();
@@ -175,10 +279,12 @@ Core::onBarrierResolved(const DynUop &u, Cycle event_cycle)
     if (u.seq == barrierSeq_ && !barrierUntilCommit_) {
         fetchResume_ =
             std::max(fetchResume_, event_cycle + cfg_.redirectPenalty);
+        scheduleWake(fetchResume_);
         barrierSeq_ = invalidSeqNum;
     }
 }
 
+// tea_lint: hot
 void
 Core::retireUop(DynUop &u)
 {
@@ -200,11 +306,12 @@ Core::retireUop(DynUop &u)
         lq_.pop_front();
     }
 
-    RetireRecord rec{u.seq, u.pc, u.psv, cycle_};
-    for (TraceSink *s : sinks_)
-        s->onRetire(rec);
+    if (!sinks_.empty())
+        traceAppend(TraceEventKind::Retire).p.retire =
+            RetireRecord{u.seq, u.pc, u.psv, cycle_};
 }
 
+// tea_lint: hot
 void
 Core::commitStage()
 {
@@ -216,7 +323,8 @@ Core::commitStage()
             break;
 
         if (h.si->isStore()) {
-            for (SqEntry &e : sq_) {
+            for (std::size_t i = 0; i < sq_.size(); ++i) {
+                SqEntry &e = sq_[i];
                 if (e.seq == h.seq) {
                     tea_assert(e.executed, "committing unexecuted store");
                     e.committed = true;
@@ -229,6 +337,7 @@ Core::commitStage()
         if (h.si->isAlwaysFlush()) {
             fetchResume_ =
                 std::max(fetchResume_, cycle_ + cfg_.redirectPenalty);
+            scheduleWake(fetchResume_);
             if (barrierSeq_ == h.seq)
                 barrierSeq_ = invalidSeqNum;
         }
@@ -254,9 +363,12 @@ Core::commitStage()
             break;
         }
     }
+    if (numCommitted_ > 0)
+        scheduleWake(cycle_ + 1); // more heads / freed slots next cycle
     emitCycleRecord();
 }
 
+// tea_lint: hot
 void
 Core::emitCycleRecord()
 {
@@ -282,10 +394,11 @@ Core::emitCycleRecord()
     }
 
     ++stats_.stateCycles[static_cast<unsigned>(rec.state)];
-    for (TraceSink *s : sinks_)
-        s->onCycle(rec);
+    if (!sinks_.empty())
+        traceAppend(TraceEventKind::Cycle).p.cycle = rec;
 }
 
+// tea_lint: hot
 void
 Core::drainStores()
 {
@@ -295,18 +408,22 @@ Core::drainStores()
     }
     // Start at most one new drain per cycle, in program order; fills
     // overlap through the MSHRs.
-    for (SqEntry &e : sq_) {
+    for (std::size_t i = 0; i < sq_.size(); ++i) {
+        SqEntry &e = sq_[i];
         if (!e.committed)
             break;
         if (!e.draining) {
             MemAccessResult r = mem_.storeDrain(e.addr, cycle_);
             e.draining = true;
             e.drainDone = std::max(r.done, cycle_ + 1);
+            scheduleWake(e.drainDone); // SQ slot frees; dispatch unblocks
+            scheduleWake(cycle_ + 1);  // next committed store may start
             break;
         }
     }
 }
 
+// tea_lint: hot
 bool
 Core::tryIssueMem(DynUop &u)
 {
@@ -315,7 +432,8 @@ Core::tryIssueMem(DynUop &u)
     if (u.si->isLoad()) {
         bool conservative = storeSets_.count(u.pc) > 0;
         const SqEntry *fwd = nullptr;
-        for (const SqEntry &e : sq_) {
+        for (std::size_t i = 0; i < sq_.size(); ++i) {
+            const SqEntry &e = sq_[i];
             if (e.seq >= u.seq)
                 break;
             if (!e.executed && conservative)
@@ -325,9 +443,9 @@ Core::tryIssueMem(DynUop &u)
         }
 
         LqEntry *lqe = nullptr;
-        for (LqEntry &e : lq_) {
-            if (e.seq == u.seq) {
-                lqe = &e;
+        for (std::size_t i = 0; i < lq_.size(); ++i) {
+            if (lq_[i].seq == u.seq) {
+                lqe = &lq_[i];
                 break;
             }
         }
@@ -360,7 +478,8 @@ Core::tryIssueMem(DynUop &u)
         TlbResult t = mem_.dataTranslate(u.memAddr);
         if (t.l1Miss)
             u.psv.set(Event::StTlb);
-        for (SqEntry &e : sq_) {
+        for (std::size_t i = 0; i < sq_.size(); ++i) {
+            SqEntry &e = sq_[i];
             if (e.seq == u.seq) {
                 e.executed = true;
                 e.execCycle = cycle_;
@@ -371,7 +490,8 @@ Core::tryIssueMem(DynUop &u)
 
         // Memory-ordering violation: an already-issued younger load to
         // the same word that did not get this store's data.
-        for (const LqEntry &e : lq_) {
+        for (std::size_t i = 0; i < lq_.size(); ++i) {
+            const LqEntry &e = lq_[i];
             if (e.seq <= u.seq || !e.issued || e.issueCycle > cycle_)
                 continue;
             if ((e.addr & ~Addr(7)) != word)
@@ -390,25 +510,45 @@ Core::tryIssueMem(DynUop &u)
     return true;
 }
 
+// tea_lint: hot
 void
 Core::issueStage()
 {
     pendingSquash_ = invalidSeqNum;
+    bool issued_any = false;
 
     static constexpr IqKind kinds[] = {IqInt, IqMem, IqFp};
     for (IqKind kind : kinds) {
+        auto &q = iqs_[kind];
+        // Flat scheduling: each queue carries a conservative lower
+        // bound on the earliest cycle anything in it could issue
+        // (maintained at dispatch, dependency wakeup and squash), so a
+        // queue full of waiting entries costs nothing to pass over.
+        if (q.empty() || iqMinReady_[kind] > cycle_)
+            continue;
         unsigned width = kind == IqInt   ? cfg_.intIssueWidth
                          : kind == IqMem ? cfg_.memIssueWidth
                                          : cfg_.fpIssueWidth;
-        auto &q = iqs_[kind];
         unsigned issued = 0;
-        for (auto it = q.begin(); it != q.end() && issued < width;) {
+        Cycle min_ready = invalidCycle; ///< bound rebuilt by a full scan
+        bool full_scan = true;
+        for (auto it = q.begin(); it != q.end();) {
+            if (issued >= width) {
+                full_scan = false;
+                break;
+            }
             DynUop *u = uopFor(*it);
             if (!u || u->issued) {
                 it = q.erase(it); // stale entry (retired or re-scheduled)
                 continue;
             }
-            if (u->pendingDeps > 0 || u->readyCycle > cycle_) {
+            if (u->pendingDeps > 0) {
+                // Woken through its producer's completion (iqWake).
+                ++it;
+                continue;
+            }
+            if (u->readyCycle > cycle_) {
+                min_ready = std::min(min_ready, u->readyCycle);
                 ++it;
                 continue;
             }
@@ -422,12 +562,17 @@ Core::issueStage()
             else if (cls == InstClass::FpSqrt)
                 fu_free = &fpSqrtFree_;
             if (fu_free && *fu_free > cycle_) {
+                scheduleWake(*fu_free); // ready; retry when the unit frees
+                min_ready = std::min(min_ready, cycle_ + 1);
                 ++it;
                 continue;
             }
 
             if (kind == IqMem) {
                 if (!tryIssueMem(*u)) {
+                    // Blocked on LSQ state, which only changes on
+                    // active cycles: retry on the next one.
+                    min_ready = std::min(min_ready, cycle_ + 1);
                     ++it;
                     continue;
                 }
@@ -438,8 +583,15 @@ Core::issueStage()
                 *fu_free = cycle_ + execLatency(cls);
             it = q.erase(it);
             ++issued;
+            issued_any = true;
         }
+        // A width-limited pass may have left issuable entries behind;
+        // a completed pass has seen (and bounded) every survivor.
+        iqMinReady_[kind] = full_scan ? min_ready : cycle_ + 1;
     }
+
+    if (issued_any)
+        scheduleWake(cycle_ + 1); // width-blocked entries retry
 
     if (pendingSquash_ != invalidSeqNum)
         moSquash(pendingSquash_);
@@ -450,6 +602,7 @@ Core::moSquash(SeqNum load_seq)
 {
     ++stats_.moViolations;
     Cycle restart = cycle_ + cfg_.moReplayPenalty;
+    scheduleWake(restart);
 
     DynUop *load = uopFor(load_seq);
     tea_assert(load, "MO violation on retired load seq %lu",
@@ -494,7 +647,8 @@ Core::moSquash(SeqNum load_seq)
         }
         // Reset LSQ execution state.
         if (u->si->isLoad()) {
-            for (LqEntry &e : lq_) {
+            for (std::size_t i = 0; i < lq_.size(); ++i) {
+                LqEntry &e = lq_[i];
                 if (e.seq == s) {
                     e.issued = false;
                     e.forwarded = false;
@@ -502,7 +656,8 @@ Core::moSquash(SeqNum load_seq)
                 }
             }
         } else if (u->si->isStore()) {
-            for (SqEntry &e : sq_) {
+            for (std::size_t i = 0; i < sq_.size(); ++i) {
+                SqEntry &e = sq_[i];
                 if (e.seq == s) {
                     tea_assert(!e.committed, "squashing committed store");
                     e.executed = false;
@@ -519,6 +674,7 @@ Core::rebuildIqs()
 {
     for (auto &q : iqs_)
         q.clear();
+    iqMinReady_.fill(0); // squash recovery: force full rescans
     for (SeqNum s = robHead_; s < robHead_ + robCount_; ++s) {
         DynUop *u = uopFor(s);
         if (!u || u->issued)
@@ -530,15 +686,19 @@ Core::rebuildIqs()
     }
 }
 
+// tea_lint: hot
 void
 Core::dispatchStage()
 {
+    bool dispatched = false;
     for (unsigned n = 0; n < cfg_.dispatchWidth; ++n) {
         if (fetchBuffer_.empty())
             break;
         DynUop &fb = fetchBuffer_.front();
-        if (fb.fbReady > cycle_)
+        if (fb.fbReady > cycle_) {
+            scheduleWake(fb.fbReady); // decode completes; retry then
             break;
+        }
         if (robCount_ >= cfg_.robEntries)
             break;
 
@@ -564,17 +724,32 @@ Core::dispatchStage()
             break;
         }
 
-        // Allocate the ROB entry.
-        DynUop uop = std::move(fb);
-        fetchBuffer_.pop_front();
-        std::size_t slot = uop.seq % rob_.size();
-        rob_[slot] = std::move(uop);
+        // Allocate the ROB entry. Field-wise assignment (not a struct
+        // move) so the slot's waiters vector keeps its heap capacity
+        // across reuse.
+        std::size_t slot = fb.seq % rob_.size();
         DynUop &d = rob_[slot];
+        d.seq = fb.seq;
+        d.pc = fb.pc;
+        d.si = fb.si;
+        d.psv = fb.psv;
+        d.memAddr = fb.memAddr;
+        d.taken = fb.taken;
+        d.mispredicted = fb.mispredicted;
+        d.fbReady = fb.fbReady;
+        d.readyCycle = fb.readyCycle;
+        d.pendingDeps = 0;
+        d.issued = false;
+        d.completeCycle = invalidCycle;
+        d.depSeqs = {invalidSeqNum, invalidSeqNum};
+        d.waiters.clear();
         d.inRob = true;
+        fetchBuffer_.pop_front();
         if (robCount_ == 0)
             robHead_ = d.seq;
         ++robCount_;
         flushShadow_ = false;
+        dispatched = true;
 
         // Rename: record producer constraints.
         d.readyCycle = std::max(d.readyCycle, cycle_ + 1);
@@ -600,6 +775,7 @@ Core::dispatchStage()
         }
         if (d.si->hasDest())
             lastWriter_[d.si->rd] = d.seq;
+        scheduleWake(d.readyCycle); // operands ready; issue may proceed
 
         if (d.si->isLoad()) {
             lq_.push_back(LqEntry{d.seq, d.pc, d.memAddr & ~Addr(7),
@@ -613,16 +789,25 @@ Core::dispatchStage()
         if (cls == InstClass::Nop) {
             d.issued = true;
             d.completeCycle = cycle_ + 1;
+            scheduleWake(d.completeCycle); // head may commit then
         } else {
             iqs_[iqOf(cls)].push_back(d.seq);
+            // Operands already in flight resolve through iqWake at the
+            // producer's completion; a dep-free entry must lower the
+            // scan bound itself.
+            if (d.pendingDeps == 0)
+                iqWake(iqOf(cls), d.readyCycle);
         }
 
-        UopRecord rec{d.seq, d.pc, cycle_};
-        for (TraceSink *s : sinks_)
-            s->onDispatch(rec);
+        if (!sinks_.empty())
+            traceAppend(TraceEventKind::Dispatch).p.uop =
+                UopRecord{d.seq, d.pc, cycle_};
     }
+    if (dispatched)
+        scheduleWake(cycle_ + 1); // width-limited; more may dispatch
 }
 
+// tea_lint: hot
 void
 Core::fetchStage()
 {
@@ -639,9 +824,11 @@ Core::fetchStage()
         pendingDrL1_ = pendingDrL1_ || fr.l1Miss;
         pendingDrTlb_ = pendingDrTlb_ || fr.itlbMiss;
         fetchResume_ = std::max(fetchResume_, fr.done);
+        scheduleWake(fetchResume_); // miss return restarts fetch
         return;
     }
 
+    bool fetched_any = false;
     bool first = true;
     for (unsigned n = 0; n < cfg_.fetchWidth &&
                          fetchBuffer_.size() < cfg_.fetchBufferEntries;
@@ -704,16 +891,20 @@ Core::fetchStage()
 
         UopRecord rec{u.seq, u.pc, cycle_};
         fetchBuffer_.push_back(std::move(u));
-        for (TraceSink *s : sinks_)
-            s->onFetch(rec);
+        fetched_any = true;
+        if (!sinks_.empty())
+            traceAppend(TraceEventKind::Fetch).p.uop = rec;
 
         if (stop)
             break;
     }
+    if (fetched_any)
+        scheduleWake(cycle_ + 1); // fetch continues / decode proceeds
 }
 
-bool
-Core::step()
+// tea_lint: hot
+void
+Core::runStages()
 {
     commitStage();
     drainStores();
@@ -722,31 +913,180 @@ Core::step()
         dispatchStage();
         fetchStage();
     }
-    if (cfg_.storeSetClearInterval != 0 && cycle_ != 0 &&
-        cycle_ % cfg_.storeSetClearInterval == 0) {
-        storeSets_.clear();
-    }
+    ++perf_.activeCycles;
+}
+
+// tea_lint: hot
+void
+Core::endOfCycle()
+{
     if (cfg_.samplingInterruptPeriod != 0 && !halted_ &&
         cycle_ % cfg_.samplingInterruptPeriod == 0) {
         // The sampling interrupt handler occupies the front end while it
         // drains TEA's sample CSRs into the memory buffer.
         fetchResume_ = std::max(fetchResume_,
                                 cycle_ + cfg_.samplingHandlerCycles);
+        scheduleWake(fetchResume_);
         ++stats_.samplingInterrupts;
     }
     ++cycle_;
     stats_.cycles = cycle_;
+}
+
+bool
+Core::step()
+{
+    runStages();
+    if (cfg_.storeSetClearInterval != 0 && cycle_ != 0 &&
+        cycle_ % cfg_.storeSetClearInterval == 0) {
+        storeSets_.clear();
+    }
+    endOfCycle();
+    // The stages schedule wakes unconditionally (so a step()-driven
+    // prefix can hand off to the fast path); drain the stale ones to
+    // keep the calendar bounded when nobody consumes it. Consuming the
+    // next-cycle flag here is harmless either way — the reference loop
+    // runs every cycle regardless.
+    wakeNext_ = false;
+    nextWakeAtLeast(cycle_);
+    flushTrace();
     if (halted_) {
-        for (TraceSink *s : sinks_)
-            s->onEnd(cycle_);
+        emitEnd();
         return false;
     }
     return true;
 }
 
+/**
+ * Bulk-emit the commit frames for the provably idle cycles
+ * [cycle_, until) and jump the clock to @p until. Everything a cycle
+ * record exposes is constant while no stage runs (no commits, same ROB
+ * head, same last-committed register), so one template record is
+ * stamped with successive cycle numbers — the auditor sees the same
+ * dense, monotone stream the reference loop emits.
+ */
+// tea_lint: hot
+void
+Core::skipIdleCycles(Cycle until)
+{
+    const Cycle skipped = until - cycle_;
+    CycleRecord rec;
+    rec.numCommitted = 0;
+    rec.committed = committedThisCycle_;
+    rec.lastValid = lastValid_;
+    rec.lastPc = lastPc_;
+    rec.lastPsv = lastPsv_;
+    if (robCount_ > 0) {
+        rec.state = CommitState::Stalled;
+        DynUop &h = rob_[robHead_ % rob_.size()];
+        rec.headValid = true;
+        rec.headSeq = h.seq;
+        rec.headPc = h.pc;
+    } else {
+        rec.state =
+            flushShadow_ ? CommitState::Flushed : CommitState::Drained;
+    }
+    stats_.stateCycles[static_cast<unsigned>(rec.state)] += skipped;
+    // DR-SQ stalls accrue every blocked cycle; the blocking condition
+    // (front-of-buffer store, empty ROB, full SQ) cannot change during
+    // an idle span, so the whole span counts iff it holds now.
+    if (drSqBlockedNow())
+        stats_.drSqStallCycles += skipped;
+    if (!sinks_.empty()) {
+        // Idle frames differ only in their cycle stamp: append the
+        // template in batch-sized bulk and stamp afterwards, instead of
+        // paying the per-event flush check of traceAppend.
+        TraceEvent ev{};
+        ev.kind = TraceEventKind::Cycle;
+        ev.p.cycle = rec;
+        for (Cycle c = cycle_; c < until;) {
+            if (traceBuf_.size() == traceBatchEvents)
+                flushTrace();
+            std::size_t n =
+                std::min<std::size_t>(traceBatchEvents - traceBuf_.size(),
+                                      until - c);
+            std::size_t base = traceBuf_.size();
+            traceBuf_.resize(base + n, ev);
+            for (std::size_t i = 0; i < n; ++i)
+                traceBuf_[base + i].p.cycle.cycle = c + i;
+            c += n;
+        }
+    }
+    perf_.skippedCycles += skipped;
+    cycle_ = until;
+    stats_.cycles = cycle_;
+}
+
+bool
+Core::drSqBlockedNow() const
+{
+    // Mirrors the guards dispatchStage passes before charging DR-SQ.
+    if (cfg_.dispatchWidth == 0 || robCount_ != 0 || fetchBuffer_.empty())
+        return false;
+    const DynUop &fb = fetchBuffer_.front();
+    return fb.fbReady <= cycle_ && fb.si->isStore() &&
+           iqs_[IqMem].size() < cfg_.memIqEntries &&
+           sq_.size() >= cfg_.sqEntries;
+}
+
+Cycle
+Core::runFast(Cycle max_cycles)
+{
+    const Cycle interval = cfg_.storeSetClearInterval;
+    // First store-set clear boundary not yet applied: prior step()
+    // calls (if any) applied boundaries up to cycle_ - 1 eagerly.
+    Cycle next_clear =
+        interval == 0 ? 0
+        : cycle_ == 0 ? interval
+                      : ((cycle_ - 1) / interval + 1) * interval;
+
+    while (!halted_ && cycle_ < max_cycles) {
+        if (interval != 0 && cycle_ != 0 && next_clear <= cycle_ - 1) {
+            // Catch up on clears whose boundaries fell inside skipped
+            // spans. Equivalent to the reference's eager end-of-cycle
+            // clears: the set is only probed on active cycles, and no
+            // probe can land between a boundary and the next active
+            // cycle.
+            storeSets_.clear();
+            next_clear = ((cycle_ - 1) / interval + 1) * interval;
+        }
+        runStages();
+        endOfCycle();
+        if (halted_ || cycle_ >= max_cycles)
+            break;
+
+        if (wakeNext_) {
+            // The cycle just executed armed its successor: stay on the
+            // per-cycle path without touching the heap at all.
+            wakeNext_ = false;
+            continue;
+        }
+        Cycle next = nextWakeAtLeast(cycle_);
+        if (cfg_.samplingInterruptPeriod != 0) {
+            // Sampling interrupts fire on period boundaries even when
+            // the pipeline is otherwise idle; never skip past one.
+            const Cycle p = cfg_.samplingInterruptPeriod;
+            next = std::min(next, ((cycle_ + p - 1) / p) * p);
+        }
+        next = std::min(next, max_cycles);
+        if (next > cycle_)
+            skipIdleCycles(next);
+    }
+
+    flushTrace();
+    if (halted_)
+        emitEnd();
+    tea_assert(halted_, "%s did not halt within %lu cycles",
+               prog_.name().c_str(),
+               static_cast<unsigned long>(max_cycles));
+    return cycle_;
+}
+
 Cycle
 Core::run(Cycle max_cycles)
 {
+    if (fastPath_)
+        return runFast(max_cycles);
     while (!halted_ && cycle_ < max_cycles) {
         step();
     }

@@ -20,23 +20,32 @@
  * always-flushing CSR op, fetch stalls until resolve/commit plus the
  * redirect penalty, which produces the same Flushed-state phenomenology
  * at commit without simulating wrong-path register state.
+ *
+ * Two execution modes share the stage implementations (DESIGN.md,
+ * "Simulator fast path"):
+ *  - the reference loop (step()/TEA_CORE_FASTPATH=0) ticks every cycle;
+ *  - the fast path (run() by default) executes stages only on cycles a
+ *    conservative wake calendar proves can have activity, bulk-emitting
+ *    the constant idle commit frames for every skipped cycle so the
+ *    observable trace stays bit-identical.
  */
 
 #ifndef TEA_CORE_CORE_HH
 #define TEA_CORE_CORE_HH
 
 #include <array>
-#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/bounded_ring.hh"
 #include "common/types.hh"
 #include "core/branch_predictor.hh"
 #include "core/config.hh"
 #include "core/memory_system.hh"
 #include "core/trace.hh"
+#include "core/trace_buffer.hh"
 #include "events/event.hh"
 #include "isa/executor.hh"
 #include "isa/program.hh"
@@ -70,6 +79,30 @@ struct CoreStats
     std::string render() const;
 };
 
+/**
+ * Host-side performance counters of one simulation. Deliberately not
+ * part of CoreStats: CoreStats is serialized into trace-cache entries
+ * and must describe the simulated machine only, while these describe
+ * how the simulator got there (and legitimately differ between the
+ * fast path and the reference loop).
+ */
+struct SimPerf
+{
+    std::uint64_t activeCycles = 0;  ///< cycles the stages executed
+    std::uint64_t skippedCycles = 0; ///< idle cycles bulk-emitted
+    std::uint64_t traceEvents = 0;   ///< events delivered to sinks
+    std::uint64_t wakeups = 0;       ///< wake-calendar entries consumed
+
+    /** Fraction of simulated cycles skipped by the next-event clock. */
+    double skipRatio() const
+    {
+        std::uint64_t total = activeCycles + skippedCycles;
+        return total ? static_cast<double>(skippedCycles) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
 /** The out-of-order core. */
 class Core
 {
@@ -100,7 +133,18 @@ class Core
      */
     Cycle run(Cycle max_cycles = 2'000'000'000ULL);
 
+    /**
+     * Select the execution mode used by run(): the event-driven fast
+     * path (default; overridable via TEA_CORE_FASTPATH=0) or the
+     * per-cycle reference loop. Not part of CoreConfig on purpose — the
+     * mode must not perturb trace-cache fingerprints, because both
+     * modes produce bit-identical traces.
+     */
+    void setFastPath(bool on) { fastPath_ = on; }
+    bool fastPath() const { return fastPath_; }
+
     const CoreStats &stats() const { return stats_; }
+    const SimPerf &perf() const { return perf_; }
     const MemorySystem &memory() const { return mem_; }
     const BranchPredictor &predictor() const { return *bp_; }
     const ArchState &archState() const { return arch_; }
@@ -171,6 +215,23 @@ class Core
     void dispatchStage();
     void fetchStage();
 
+    // Cycle drivers shared by step() and the fast path.
+    void init();
+    void runStages();
+    void endOfCycle();
+    Cycle runFast(Cycle max_cycles);
+    void skipIdleCycles(Cycle until);
+    bool drSqBlockedNow() const;
+
+    // Wake calendar (see DESIGN.md, "Simulator fast path").
+    void scheduleWake(Cycle at);
+    Cycle nextWakeAtLeast(Cycle at);
+
+    // Batched trace emission.
+    TraceEvent &traceAppend(TraceEventKind kind);
+    void flushTrace();
+    void emitEnd();
+
     // Helpers.
     DynUop *uopFor(SeqNum seq);
     IqKind iqOf(InstClass cls) const;
@@ -190,6 +251,8 @@ class Core
     std::unique_ptr<BranchPredictor> bp_;
     std::vector<TraceSink *> sinks_;
     CoreStats stats_;
+    SimPerf perf_;
+    bool fastPath_ = true;
 
     Cycle cycle_ = 0;
     SeqNum nextSeq_ = 0;
@@ -203,7 +266,7 @@ class Core
     bool pendingDrTlb_ = false;
     SeqNum barrierSeq_ = invalidSeqNum; ///< fetch-blocking micro-op
     bool barrierUntilCommit_ = false;   ///< CSR/halt barriers
-    std::deque<DynUop> fetchBuffer_;
+    BoundedRing<DynUop> fetchBuffer_;
 
     // Rename: last in-flight writer of each architectural register.
     std::array<SeqNum, numArchRegs> lastWriter_;
@@ -213,9 +276,12 @@ class Core
     SeqNum robHead_ = 0;  ///< seq of the oldest in-flight micro-op
     unsigned robCount_ = 0;
 
-    std::array<std::deque<SeqNum>, NumIqs> iqs_;
-    std::deque<SqEntry> sq_;
-    std::deque<LqEntry> lq_;
+    // Flat issue queues: program-ordered seq vectors, pre-reserved for
+    // the worst case (every ROB entry of one class re-enqueued by a
+    // squash), scanned and erased in order like the reference deques.
+    std::array<std::vector<SeqNum>, NumIqs> iqs_;
+    BoundedRing<SqEntry> sq_;
+    BoundedRing<LqEntry> lq_;
 
     // Unpipelined functional units.
     Cycle divFree_ = 0;
@@ -239,6 +305,31 @@ class Core
     // Per-cycle commit info for trace emission.
     std::uint8_t numCommitted_ = 0;
     std::array<CommittedUop, 8> committedThisCycle_{};
+
+    // Wake calendar: min-heap of cycles at which pipeline activity may
+    // occur. Conservative by construction — spurious wakes only cost an
+    // idle stage pass; every real state change is scheduled (the
+    // invariant the fastpath property tests enforce).
+    std::vector<Cycle> wake_;
+
+    // Sticky "wake at cycle_+1" flag: the dominant re-schedule, kept
+    // out of the heap so busy-cycle chains cost no heap traffic.
+    bool wakeNext_ = false;
+
+    // Per-queue conservative lower bound on the earliest cycle any of
+    // its entries could issue; lets issueStage() skip whole queues of
+    // waiting entries. 0 means "must scan" (always safe).
+    std::array<Cycle, NumIqs> iqMinReady_{};
+
+    /** Lower a queue's scan bound when an entry becomes eligible. */
+    void iqWake(IqKind k, Cycle at)
+    {
+        if (at < iqMinReady_[k])
+            iqMinReady_[k] = at;
+    }
+
+    // Chunk-local trace staging buffer, flushed to sinks via onBatch.
+    std::vector<TraceEvent> traceBuf_;
 };
 
 } // namespace tea

@@ -32,6 +32,7 @@ MemorySystem::MemorySystem(const CoreConfig &cfg, Uncore &uncore)
 {
 }
 
+// tea_lint: hot
 MemAccessResult
 MemorySystem::l1dAccess(Addr line, Cycle now, bool is_store, bool demand)
 {
@@ -100,6 +101,7 @@ MemorySystem::prefetch(Addr addr, Cycle now)
     return l1dAccess(lineOf(addr), now, false, false);
 }
 
+// tea_lint: hot
 IFetchResult
 MemorySystem::ifetch(Addr pc, Cycle now)
 {

@@ -10,6 +10,7 @@ TlbArray::TlbArray(unsigned entries, std::string name)
 {
 }
 
+// tea_lint: hot
 bool
 TlbArray::access(Addr page)
 {
@@ -24,6 +25,7 @@ TlbArray::access(Addr page)
     return false;
 }
 
+// tea_lint: hot
 void
 TlbArray::insert(Addr page)
 {
@@ -45,6 +47,7 @@ L2Tlb::L2Tlb(unsigned entries) : slots_(entries, 0), valid_(entries, false)
 {
 }
 
+// tea_lint: hot
 bool
 L2Tlb::access(Addr page)
 {
@@ -56,6 +59,7 @@ L2Tlb::access(Addr page)
     return false;
 }
 
+// tea_lint: hot
 void
 L2Tlb::insert(Addr page)
 {
@@ -69,6 +73,7 @@ TlbHierarchy::TlbHierarchy(const TlbConfig &cfg, L2Tlb &l2, std::string name)
 {
 }
 
+// tea_lint: hot
 TlbResult
 TlbHierarchy::translate(Addr addr)
 {

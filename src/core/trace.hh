@@ -14,12 +14,15 @@
 #define TEA_CORE_TRACE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hh"
 #include "events/event.hh"
 
 namespace tea {
+
+struct TraceEvent; // core/trace_buffer.hh
 
 /** A micro-op committing in this cycle. */
 struct CommittedUop
@@ -87,6 +90,18 @@ class TraceSink
 
     /** Called once when the simulated program has terminated. */
     virtual void onEnd(Cycle final_cycle) { (void)final_cycle; }
+
+    /**
+     * Deliver @p n consecutive captured events in order. The default
+     * implementation (core/trace_buffer.cc) fans each event out to the
+     * per-kind callbacks above, so sinks observe exactly the stream a
+     * record-at-a-time producer would have delivered; bulk-capable
+     * sinks (ChunkingSink) override it to append whole ranges and skip
+     * the per-record virtual dispatch. Producers batching through this
+     * hook must preserve capture order and batch every event kind but
+     * End, which keeps its dedicated onEnd call.
+     */
+    virtual void onBatch(const TraceEvent *events, std::size_t n);
 };
 
 } // namespace tea

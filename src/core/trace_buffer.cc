@@ -1,5 +1,7 @@
 #include "core/trace_buffer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace tea {
@@ -45,6 +47,13 @@ eventsEquivalent(const TraceEvent &a, const TraceEvent &b)
         return a.p.end == b.p.end;
     }
     return false;
+}
+
+void
+TraceSink::onBatch(const TraceEvent *events, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        deliverEvent(events[i], *this);
 }
 
 void
@@ -142,6 +151,42 @@ ChunkingSink::onEnd(Cycle final_cycle)
 }
 
 void
+ChunkingSink::onBatch(const TraceEvent *events, std::size_t n)
+{
+    // Bulk path: append whole ranges into the open chunk. Chunk
+    // boundaries are byte-identical to record-at-a-time delivery — a
+    // chunk closes exactly when it reaches chunkEvents_ events (or at
+    // an End marker), the same points finish() fires on the per-record
+    // path above.
+    std::size_t i = 0;
+    while (i < n) {
+        if (!open_) {
+            open_ = std::make_shared<TraceChunk>();
+            open_->events.reserve(chunkEvents_);
+        }
+        std::size_t space = chunkEvents_ - open_->events.size();
+        std::size_t take = std::min(space, n - i);
+        for (std::size_t k = i; k < i + take; ++k) {
+            if (events[k].kind == TraceEventKind::End) {
+                take = k - i + 1; // close the chunk right after End
+                break;
+            }
+        }
+        open_->events.insert(open_->events.end(), events + i,
+                             events + i + take);
+        for (std::size_t k = i; k < i + take; ++k) {
+            if (events[k].kind == TraceEventKind::Cycle)
+                ++open_->cycleRecords;
+        }
+        events_ += take;
+        i += take;
+        if (open_->events.size() >= chunkEvents_ ||
+            events[i - 1].kind == TraceEventKind::End)
+            finish();
+    }
+}
+
+void
 ChunkingSink::finish()
 {
     if (!open_)
@@ -185,6 +230,12 @@ void
 TraceBuffer::onEnd(Cycle final_cycle)
 {
     sink_.onEnd(final_cycle);
+}
+
+void
+TraceBuffer::onBatch(const TraceEvent *events, std::size_t n)
+{
+    sink_.onBatch(events, n);
 }
 
 void

@@ -109,6 +109,7 @@ class ChunkingSink : public TraceSink
     void onFetch(const UopRecord &rec) override;
     void onRetire(const RetireRecord &rec) override;
     void onEnd(Cycle final_cycle) override;
+    void onBatch(const TraceEvent *events, std::size_t n) override;
 
     /** Flush the trailing partial chunk (idempotent). */
     void finish();
@@ -142,6 +143,7 @@ class TraceBuffer : public TraceSink
     void onFetch(const UopRecord &rec) override;
     void onRetire(const RetireRecord &rec) override;
     void onEnd(Cycle final_cycle) override;
+    void onBatch(const TraceEvent *events, std::size_t n) override;
 
     /** Flush the trailing partial chunk (idempotent). */
     void finish();

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """tea_lint: project-specific static rules for the TEA tree.
 
-Five rules, each enforcing an invariant the compiler cannot:
+Six rules, each enforcing an invariant the compiler cannot:
 
   naked-new          No naked `new` / `malloc`-family allocation in src/
                      outside allocator shims: ownership must be typed
@@ -38,6 +38,16 @@ Five rules, each enforcing an invariant the compiler cannot:
                      callee that catches internally), annotate the
                      spawn site with `tea_lint: allow(unguarded-worker)`
                      and say why in a comment.
+
+  hot-alloc          Inside functions annotated `// tea_lint: hot` in
+                     src/core/, no heap allocation may occur: no
+                     new/make_unique/make_shared/malloc, and no
+                     push_back/emplace_back on a container that is not
+                     `reserve()`d somewhere in the same file (the
+                     fast-path contract: per-cycle work runs entirely
+                     in pre-sized storage). Suppress a deliberate
+                     cold-path allocation with
+                     `tea_lint: allow(hot-alloc)`.
 
 Exit status 0 when clean; 1 with `file:line: [rule] message` diagnostics
 otherwise.
@@ -317,6 +327,71 @@ class Linter:
                     return stripped[start:i + 1]
         return None
 
+    # --- rule: hot-alloc --------------------------------------------------
+
+    HOT_NEW_RE = re.compile(
+        r"\bnew\b|\b(?:std::)?(?:make_unique|make_shared)\s*<|"
+        r"\b(?:malloc|calloc|realloc)\s*\(")
+    HOT_PUSH_RE = re.compile(
+        r"(\w+(?:\s*\[[^\]]*\])?)\s*(?:\.|->)\s*"
+        r"(push_back|emplace_back)\s*\(")
+
+    def hot_scopes(self, stripped: str, raw_lines: list[str]):
+        """Yield (start_line, end_line) 1-based inclusive spans of the
+        function bodies annotated `// tea_lint: hot` (the annotation
+        sits on the line above the function's return type)."""
+        offsets = [0]
+        for line in stripped.splitlines():
+            offsets.append(offsets[-1] + len(line) + 1)
+        for idx, raw in enumerate(raw_lines):
+            if "tea_lint: hot" not in raw or "allow(" in raw:
+                continue
+            pos = offsets[idx + 1] if idx + 1 < len(offsets) else None
+            if pos is None:
+                continue
+            start = stripped.find("{", pos)
+            if start < 0:
+                continue
+            depth = 0
+            for i in range(start, len(stripped)):
+                if stripped[i] == "{":
+                    depth += 1
+                elif stripped[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        yield (stripped.count("\n", 0, start) + 1,
+                               stripped.count("\n", 0, i) + 1)
+                        break
+
+    def check_hot_alloc(self, path: Path, stripped: str,
+                        raw_lines: list[str]):
+        lines = stripped.splitlines()
+        for lo, hi in self.hot_scopes(stripped, raw_lines):
+            for lineno in range(lo, hi + 1):
+                line = lines[lineno - 1]
+                if self.HOT_NEW_RE.search(line):
+                    if not allows(raw_lines, lineno, "hot-alloc"):
+                        self.violate(
+                            path, lineno, "hot-alloc",
+                            "heap allocation in a `tea_lint: hot` "
+                            "scope: hoist it to init()/setup or "
+                            "annotate `tea_lint: allow(hot-alloc)`")
+                    continue
+                for m in self.HOT_PUSH_RE.finditer(line):
+                    name = re.sub(r"\s*\[[^\]]*\]", "", m.group(1))
+                    reserve_re = (re.escape(name) +
+                                  r"(?:\s*\[[^\]]*\])?\s*\.\s*reserve\s*\(")
+                    if re.search(reserve_re, stripped):
+                        continue
+                    if allows(raw_lines, lineno, "hot-alloc"):
+                        continue
+                    self.violate(
+                        path, lineno, "hot-alloc",
+                        f"`{name}.{m.group(2)}()` in a `tea_lint: hot` "
+                        f"scope but `{name}` is never reserve()d in "
+                        "this file: pre-size it or annotate "
+                        "`tea_lint: allow(hot-alloc)`")
+
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
@@ -345,6 +420,8 @@ class Linter:
                 self.check_unchecked_io(path, stripped, raw_lines)
             self.check_enum_switches(path, stripped, raw_lines, members)
             self.check_worker_guards(path, stripped, raw_lines)
+            if path.parent.name == "core":
+                self.check_hot_alloc(path, stripped, raw_lines)
 
         if self.violations:
             for v in self.violations:
@@ -352,7 +429,7 @@ class Linter:
             print(f"tea_lint: FAIL ({len(self.violations)} violation(s) "
                   f"in {self.files_checked} files)")
             return 1
-        print(f"tea_lint: PASS ({self.files_checked} files, 5 rules)")
+        print(f"tea_lint: PASS ({self.files_checked} files, 6 rules)")
         return 0
 
 

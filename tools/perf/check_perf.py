@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured benchmark JSON against a checked-in
+baseline and fail on regression.
+
+Both files are flat JSON objects as written by bench/perf_simulator
+(BENCH_simulator.json, BENCH_trace_cache.json). The comparison is on a
+single throughput key (higher is better): exit 1 if the current value
+falls more than --max-regress below the baseline. Improvements never
+fail; a gentle reminder is printed when the baseline looks stale
+(current value far above it) so it gets refreshed.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json \
+        --key fastpath_events_per_second [--max-regress 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str, key: str) -> float:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_perf: cannot read {path}: {e}")
+    if key not in data:
+        sys.exit(f"check_perf: {path} has no key '{key}'")
+    value = data[key]
+    if not isinstance(value, (int, float)) or value <= 0:
+        sys.exit(f"check_perf: {path}[{key}] = {value!r} is not a "
+                 "positive number")
+    return float(value)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument("--key", default="fastpath_events_per_second",
+                    help="throughput key to compare (higher is better)")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="maximum tolerated fractional regression "
+                         "(default 0.20)")
+    args = ap.parse_args()
+
+    base = load(args.baseline, args.key)
+    cur = load(args.current, args.key)
+    change = (cur - base) / base
+
+    print(f"check_perf: {args.key}: baseline {base:,.0f}, "
+          f"current {cur:,.0f} ({change:+.1%})")
+    if change < -args.max_regress:
+        print(f"check_perf: FAIL — regression exceeds "
+              f"{args.max_regress:.0%} budget", file=sys.stderr)
+        return 1
+    if change > args.max_regress:
+        print("check_perf: note — current is well above baseline; "
+              "consider refreshing the checked-in JSON")
+    print("check_perf: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
