@@ -459,13 +459,14 @@ runBenchmark(const std::string &name, std::vector<SamplerConfig> techniques,
 }
 
 std::vector<ExperimentResult>
-runBenchmarkSuite(const std::vector<std::string> &names,
-                  const std::vector<SamplerConfig> &techniques,
-                  const RunnerOptions &opts, const CoreConfig &cfg)
+runExperimentSuite(const std::vector<SuiteExperiment> &experiments,
+                   const std::vector<SamplerConfig> &techniques,
+                   const RunnerOptions &opts)
 {
-    std::vector<ExperimentResult> results(names.size());
+    std::vector<ExperimentResult> results(experiments.size());
     const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
-        1, std::min<std::size_t>(opts.threads, names.size())));
+        1,
+        std::min<std::size_t>(opts.threads, experiments.size())));
     // Each experiment runs the serial in-process path (fully
     // independent, bit-identical result) but keeps the caller's
     // trace-cache settings: a warm cache turns the whole suite into
@@ -479,26 +480,32 @@ runBenchmarkSuite(const std::vector<std::string> &names,
     // is recorded on that experiment's result; everything else
     // completes normally.
     auto runOne = [&](std::size_t i) {
+        const SuiteExperiment &exp = experiments[i];
         try {
             if (TEA_FAILPOINT(fpExperiment))
                 fpExperiment.raise();
-            results[i] = runBenchmark(names[i], techniques, inner, cfg);
+            results[i] =
+                runWorkload(exp.make(), techniques, inner, exp.cfg);
+            // The experiment name (not the program name): a sweep runs
+            // the same kernel under several configurations and the
+            // results must stay distinguishable.
+            results[i].name = exp.name;
         } catch (const std::exception &e) {
-            results[i].name = names[i];
+            results[i].name = exp.name;
             results[i].error = e.what();
             tea_warn("suite: experiment '%s' failed (contained): %s",
-                     names[i].c_str(), e.what());
+                     exp.name.c_str(), e.what());
         } catch (...) {
-            results[i].name = names[i];
+            results[i].name = exp.name;
             results[i].error = "unknown exception";
             tea_warn("suite: experiment '%s' failed (contained): "
                      "unknown exception",
-                     names[i].c_str());
+                     exp.name.c_str());
         }
     };
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t i = 0; i < experiments.size(); ++i)
             runOne(i);
     } else {
         std::atomic<std::size_t> next{0};
@@ -510,7 +517,7 @@ runBenchmarkSuite(const std::vector<std::string> &names,
             // tea_lint: allow(unguarded-worker)
             pool.emplace_back([&] {
                 for (std::size_t i = next.fetch_add(1);
-                     i < names.size(); i = next.fetch_add(1)) {
+                     i < experiments.size(); i = next.fetch_add(1)) {
                     runOne(i);
                 }
             });
@@ -530,6 +537,20 @@ runBenchmarkSuite(const std::vector<std::string> &names,
             r.replay.degradedExperiments = degraded;
     }
     return results;
+}
+
+std::vector<ExperimentResult>
+runBenchmarkSuite(const std::vector<std::string> &names,
+                  const std::vector<SamplerConfig> &techniques,
+                  const RunnerOptions &opts, const CoreConfig &cfg)
+{
+    std::vector<SuiteExperiment> experiments;
+    experiments.reserve(names.size());
+    for (const std::string &name : names) {
+        experiments.push_back(SuiteExperiment{
+            name, [name] { return workloads::byName(name); }, cfg});
+    }
+    return runExperimentSuite(experiments, techniques, opts);
 }
 
 std::string

@@ -75,14 +75,40 @@ ReplayStats replayThroughPool(
     const std::function<void(TraceSink &)> &produce);
 
 /**
- * Run many benchmarks concurrently: the fig 5/8/9 shape (many workloads
- * × a fixed technique set). Up to opts.threads experiments are in
- * flight at a time; each experiment runs its observers serially
- * in-process (the threads=1 path), so every result is bit-identical to
- * a serial `for (name : names) runBenchmark(name, techniques)` loop —
- * experiments are fully independent simulations, which makes this the
- * better-scaling axis whenever there are more workloads than observer
- * groups per workload.
+ * One experiment of a suite run: a workload factory plus the core
+ * configuration to simulate it on. The factory (rather than a
+ * materialized Workload) keeps a many-hundred-experiment sweep from
+ * holding every program and initial heap image in memory at once — a
+ * workload is built on the worker that runs it and freed with the
+ * result.
+ */
+struct SuiteExperiment
+{
+    std::string name;                 ///< experiment (result/report) name
+    std::function<Workload()> make;   ///< builds the workload to run
+    CoreConfig cfg;                   ///< core configuration to run under
+};
+
+/**
+ * Run many experiments concurrently: the fig 5/8/9 and sweep shape
+ * (many (workload, config) pairs × a fixed technique set). Up to
+ * opts.threads experiments are in flight at a time; each experiment
+ * runs its observers serially in-process (the threads=1 path), so every
+ * result is bit-identical to a serial loop — experiments are fully
+ * independent simulations, which makes this the better-scaling axis
+ * whenever there are more experiments than observer groups per
+ * experiment.
+ *
+ * @return results in the order of @p experiments
+ */
+std::vector<ExperimentResult> runExperimentSuite(
+    const std::vector<SuiteExperiment> &experiments,
+    const std::vector<SamplerConfig> &techniques,
+    const RunnerOptions &opts = RunnerOptions{});
+
+/**
+ * Convenience wrapper over runExperimentSuite: every named suite
+ * benchmark (workloads::byName) under one shared core configuration.
  *
  * @return results in the order of @p names
  */

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Declarative sweep engine: a SweepSpec names axes over generated-kernel
+ * parameters (workloads/kernel_gen) and core-configuration presets
+ * (core/config presets::) and expands, deterministically, into the full
+ * cross product of (kernel × preset) experiments. The expansion runs
+ * through runExperimentSuite — so it inherits the replay engine, the
+ * trace cache, auditing and per-experiment fault containment — and the
+ * results render as a per-sweep PICS comparison report (every
+ * technique's error against the golden reference, per experiment and
+ * aggregated per preset and per axis value).
+ *
+ * Expansion is part of the repo's compatibility surface: golden tests
+ * pin the experiment list (count, names, fingerprints) of the
+ * checked-in example sweeps, so a change to how specs expand is a
+ * deliberate sweepSpecVersion bump, not silent drift.
+ */
+
+#ifndef TEA_ANALYSIS_SWEEP_HH
+#define TEA_ANALYSIS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/parallel_runner.hh"
+#include "analysis/runner.hh"
+#include "core/config.hh"
+#include "workloads/kernel_gen.hh"
+
+namespace tea {
+
+/**
+ * Version of the spec-expansion contract: bump when expandSweep's
+ * naming, ordering, or parameter vocabulary changes, or when the
+ * checked-in example sweeps are retuned (the golden expansion tests
+ * compare against it).
+ */
+inline constexpr unsigned sweepSpecVersion = 1;
+
+/** One swept kernel parameter: a named knob and the values to try. */
+struct SweepAxis
+{
+    std::string param;               ///< applyKernelParam() knob name
+    std::vector<std::string> values; ///< textual values, tried in order
+};
+
+/** A declarative sweep: base spec x axes x presets. */
+struct SweepSpec
+{
+    std::string name = "sweep";
+
+    /** Starting point every experiment's KernelSpec is derived from. */
+    workloads::KernelSpec base;
+
+    /** Core-config preset names (presets::byName); empty = big_ooo. */
+    std::vector<std::string> presets;
+
+    /** Kernel-parameter axes; the cross product is swept. */
+    std::vector<SweepAxis> axes;
+};
+
+/** One expanded (kernel × preset) experiment. */
+struct SweepExperiment
+{
+    std::string name;           ///< "<sweep>/<preset>/<axis=value,...>"
+    workloads::KernelSpec spec; ///< fully resolved (concrete footprint)
+    std::string preset;         ///< preset the config came from
+    CoreConfig cfg;
+};
+
+/**
+ * Set the parameter named @p param on @p spec from textual @p value
+ * (fatal on unknown parameter or malformed value). Knobs: seed,
+ * iterations, level, footprint, stride, dependent, loads, branches,
+ * taken, chain, chains, targets.
+ */
+void applyKernelParam(workloads::KernelSpec &spec,
+                      const std::string &param, const std::string &value);
+
+/**
+ * Expand @p spec to the full experiment list: presets outermost, axes
+ * in declaration order (last axis fastest). Kernel footprints resolve
+ * against each preset's cache sizes, so a level axis targets the same
+ * *level* on every preset, not the same byte count.
+ */
+std::vector<SweepExperiment> expandSweep(const SweepSpec &spec);
+
+/**
+ * Order-sensitive fingerprint of an expansion (sweepSpecVersion, every
+ * experiment's name, spec fingerprint and config hash) — the value the
+ * golden regression tests pin.
+ */
+std::uint64_t
+sweepExpansionFingerprint(const std::vector<SweepExperiment> &exps);
+
+/**
+ * The checked-in example sweep: 5 presets x level/dependence/taken-
+ * ratio/ILP axes = 120 experiments, each small enough that the full
+ * sweep runs in seconds through a warm trace cache.
+ */
+SweepSpec exampleSweep();
+
+/** The CI smoke sweep: 2 presets x 6 kernel scenarios = 12 experiments. */
+SweepSpec smokeSweep();
+
+/** An executed sweep: the expansion plus one result per experiment. */
+struct SweepRunResult
+{
+    SweepSpec spec;
+    std::vector<SweepExperiment> experiments;
+    std::vector<ExperimentResult> results; ///< parallel to experiments
+
+    /** Number of failed (contained) experiments. */
+    unsigned degraded() const;
+};
+
+/**
+ * Expand @p spec and run every experiment through runExperimentSuite
+ * with @p techniques observing (plus the golden reference). Failures
+ * are contained per experiment (ExperimentResult::error).
+ */
+SweepRunResult runSweep(const SweepSpec &spec,
+                        const std::vector<SamplerConfig> &techniques,
+                        const RunnerOptions &opts = RunnerOptions{});
+
+/**
+ * Render the per-sweep PICS comparison report: one row per experiment
+ * (cycles, IPC, per-technique PICS error vs the projected golden
+ * reference) followed by per-preset and per-axis-value aggregates, and
+ * a trailer naming any failed experiments.
+ */
+std::string renderSweepReport(const SweepRunResult &run);
+
+} // namespace tea
+
+#endif // TEA_ANALYSIS_SWEEP_HH

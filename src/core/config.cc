@@ -49,6 +49,146 @@ CoreConfig::describe() const
     return out;
 }
 
+namespace presets {
+
+CoreConfig
+bigOoo()
+{
+    return CoreConfig{};
+}
+
+CoreConfig
+bigOooW2()
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 4;
+    cfg.decodeWidth = 2;
+    cfg.dispatchWidth = 2;
+    cfg.commitWidth = 2;
+    cfg.intIssueWidth = 2;
+    cfg.memIssueWidth = 1;
+    cfg.fpIssueWidth = 1;
+    cfg.fetchBufferEntries = 24;
+    return cfg;
+}
+
+CoreConfig
+bigOooRob64()
+{
+    CoreConfig cfg;
+    cfg.robEntries = 64;
+    cfg.intIqEntries = 32;
+    cfg.memIqEntries = 16;
+    cfg.fpIqEntries = 16;
+    cfg.lqEntries = 16;
+    cfg.sqEntries = 12;
+    return cfg;
+}
+
+CoreConfig
+bigOooMiniCaches()
+{
+    CoreConfig cfg;
+    cfg.l1i = CacheConfig{8 * 1024, 4, 4, 2};
+    cfg.l1d = CacheConfig{8 * 1024, 4, 8, 3};
+    cfg.llc = CacheConfig{256 * 1024, 8, 8, 14};
+    cfg.nextLinePrefetcher = false;
+    return cfg;
+}
+
+CoreConfig
+bigOooGshare()
+{
+    CoreConfig cfg;
+    cfg.predictor = PredictorKind::Gshare;
+    return cfg;
+}
+
+CoreConfig
+littleInorder()
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 2;
+    cfg.decodeWidth = 2;
+    cfg.dispatchWidth = 2;
+    cfg.commitWidth = 2;
+    cfg.fetchBufferEntries = 8;
+    cfg.decodeLatency = 1;
+    cfg.redirectPenalty = 5;
+    cfg.predictor = PredictorKind::Gshare;
+    cfg.bpHistoryBits = 8;
+    cfg.bpTableEntries = 1024;
+    cfg.robEntries = 16;
+    cfg.intIqEntries = 8;
+    cfg.intIssueWidth = 2;
+    cfg.memIqEntries = 4;
+    cfg.memIssueWidth = 1;
+    cfg.fpIqEntries = 4;
+    cfg.fpIssueWidth = 1;
+    cfg.lqEntries = 8;
+    cfg.sqEntries = 8;
+    cfg.l1i = CacheConfig{16 * 1024, 4, 4, 2};
+    cfg.l1d = CacheConfig{16 * 1024, 4, 4, 3};
+    cfg.llc = CacheConfig{512 * 1024, 8, 6, 16};
+    cfg.nextLinePrefetcher = false;
+    cfg.dramLatency = 100;
+    return cfg;
+}
+
+CoreConfig
+littleInorderW1()
+{
+    CoreConfig cfg = littleInorder();
+    cfg.fetchWidth = 2;
+    cfg.decodeWidth = 1;
+    cfg.dispatchWidth = 1;
+    cfg.commitWidth = 1;
+    cfg.intIssueWidth = 1;
+    return cfg;
+}
+
+namespace {
+
+struct PresetEntry
+{
+    const char *name;
+    CoreConfig (*make)();
+};
+
+constexpr PresetEntry presetTable[] = {
+    {"big_ooo", bigOoo},
+    {"big_ooo_w2", bigOooW2},
+    {"big_ooo_rob64", bigOooRob64},
+    {"big_ooo_mini_caches", bigOooMiniCaches},
+    {"big_ooo_gshare", bigOooGshare},
+    {"little_inorder", littleInorder},
+    {"little_inorder_w1", littleInorderW1},
+};
+
+} // namespace
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    out.reserve(std::size(presetTable));
+    for (const PresetEntry &e : presetTable)
+        out.emplace_back(e.name);
+    return out;
+}
+
+CoreConfig
+byName(const std::string &name)
+{
+    for (const PresetEntry &e : presetTable) {
+        if (name == e.name)
+            return e.make();
+    }
+    tea_fatal("unknown core-config preset '%s'", name.c_str());
+}
+
+} // namespace presets
+
 namespace {
 
 void

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -110,6 +111,49 @@ struct CoreConfig
     /** Render the Table 2-style configuration description. */
     std::string describe() const;
 };
+
+/**
+ * Named core-configuration presets (à la Scarab's PARAMS.golden_cove /
+ * PARAMS.cortex_a76): the sweep layer crosses kernel axes against
+ * these. Every preset is a pure function of its name, so sweeps and
+ * cache fingerprints are reproducible; byName() is the string entry
+ * point the SweepSpec/CLI layer uses.
+ */
+namespace presets {
+
+/** The paper's Table 2 baseline (identical to CoreConfig{}). */
+CoreConfig bigOoo();
+
+/** big_ooo at half width: 4-wide fetch, 2-wide decode/commit. */
+CoreConfig bigOooW2();
+
+/** big_ooo with a 64-entry ROB (queues scaled to match). */
+CoreConfig bigOooRob64();
+
+/** big_ooo with 8 KB L1s and a 256 KB LLC, no prefetcher. */
+CoreConfig bigOooMiniCaches();
+
+/** big_ooo with the gshare ablation predictor. */
+CoreConfig bigOooGshare();
+
+/**
+ * A little-core approximation: 2-wide, 16-entry ROB, small queues,
+ * small gshare, 16 KB L1s, 512 KB LLC, no prefetcher. The model is
+ * still out-of-order, but the tiny window makes it behave close to an
+ * in-order little core for attribution purposes.
+ */
+CoreConfig littleInorder();
+
+/** littleInorder narrowed to scalar issue (1-wide decode/commit). */
+CoreConfig littleInorderW1();
+
+/** All preset names, in a fixed report order. */
+std::vector<std::string> names();
+
+/** Construct a preset by name (fatal on unknown name). */
+CoreConfig byName(const std::string &name);
+
+} // namespace presets
 
 class Fnv1a;
 

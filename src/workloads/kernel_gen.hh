@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Parameterized bottleneck-kernel generator (Scarab-style synthetic
+ * frontend): a KernelSpec names the microarchitectural bottleneck mix a
+ * scenario should exhibit — memory-level targeting via footprint and
+ * stride, taken-ratio-swept conditional branches, dependence-chain ILP
+ * knobs, and target-pool front-end stress — and expands
+ * deterministically to a Workload. The same spec always produces the
+ * bit-identical instruction stream and initial state, so generated
+ * kernels fingerprint, cache and replay exactly like the hand-written
+ * suite, while covering the scenario space the fixed 15 kernels cannot.
+ *
+ * Specs round-trip through canonical names (`kgen/v1:...`), which makes
+ * every generated kernel addressable by workloads::byName() and usable
+ * anywhere a suite benchmark name is accepted (runBenchmarkSuite, trace
+ * cache keys, sweep experiment lists).
+ */
+
+#ifndef TEA_WORKLOADS_KERNEL_GEN_HH
+#define TEA_WORKLOADS_KERNEL_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tea {
+
+class CoreConfig;
+
+namespace workloads {
+
+/**
+ * Generator layout version: bump whenever a change makes any existing
+ * KernelSpec expand to a different instruction stream or initial state
+ * (same contract as traceCodecVersion — golden expansion tests pin it).
+ */
+inline constexpr unsigned kernelGenVersion = 1;
+
+/**
+ * Memory level a kernel's loads are meant to bottom out in, à la
+ * Scarab's Limit_Load_To. Our hierarchy is two-level (L1D + LLC), so
+ * Scarab's MLC level collapses into Llc; Mem targets DRAM.
+ */
+enum class MemLevel : std::uint8_t
+{
+    None = 0, ///< no memory phase
+    L1D = 1,  ///< footprint resident in the L1 data cache
+    Llc = 2,  ///< misses L1, hits the LLC in steady state
+    Mem = 3,  ///< distinct-line footprint beyond the LLC: DRAM-bound
+};
+
+/** Short level name: "none", "L1D", "LLC", "MEM". */
+const char *memLevelName(MemLevel level);
+
+/** Parse a memLevelName() string (fatal on unknown). */
+MemLevel memLevelByName(const std::string &name);
+
+/**
+ * One bottleneck-kernel phase. Every enabled feature contributes its
+ * instructions to the phase's loop body, so a single spec can blend
+ * behaviours (e.g. LLC-level loads + unpredictable branches); a
+ * multi-phase kernel (generateMixedKernel) runs several specs'
+ * loops back-to-back over disjoint heap regions.
+ *
+ * All fields are integers so canonical names round-trip exactly and
+ * expansion is bit-reproducible across platforms.
+ */
+struct KernelSpec
+{
+    /** Seed for the chase permutation and the branch-direction LCG. */
+    std::uint64_t seed = 1;
+
+    /** Loop iterations of this phase. */
+    unsigned iterations = 2000;
+
+    // --- memory phase (level != None) --------------------------------
+    /** Level the loads should bottom out in. */
+    MemLevel level = MemLevel::None;
+    /**
+     * Bytes of heap the loads walk (rounded up to a power of two;
+     * 0 = defaultFootprintFor(level)). Distinct lines touched =
+     * footprint / stride.
+     */
+    std::uint64_t footprintBytes = 0;
+    /** Bytes between consecutively touched addresses (multiple of 8). */
+    std::uint64_t strideBytes = 64;
+    /**
+     * true: loads form a dependent pointer chase over a seed-permuted
+     * ring (latency-bound, prefetch-defeating — Scarab's
+     * DEPENDENCE_CHAIN); false: independent strided loads (MLP /
+     * bandwidth-bound — NO_DEPENDENCE_CHAIN).
+     */
+    bool dependent = true;
+    /** Loads emitted per loop iteration. */
+    unsigned loadsPerIteration = 2;
+
+    // --- conditional-branch phase (branchesPerIteration > 0) ---------
+    /** Data-dependent conditional branches per iteration. */
+    unsigned branchesPerIteration = 0;
+    /**
+     * Requested taken ratio in permille (0..1000). Directions come from
+     * a register-resident LCG, so the realized ratio converges to this
+     * and the branches stay unpredictable (mispredict rate ~min(t,1-t)).
+     */
+    unsigned takenPermille = 500;
+
+    // --- ILP phase (chainLength > 0) ----------------------------------
+    /** ALU ops per dependence chain per iteration (serial latency). */
+    unsigned chainLength = 0;
+    /** Independent chains interleaved (the ILP the backend can mine). */
+    unsigned chains = 1;
+
+    // --- front-end stress phase (targetPool > 0) ----------------------
+    /**
+     * Calls per iteration through a pool of this many distinct
+     * functions (~16 instructions each). Targets are statically
+     * predicted in our model, so the pool stresses the I-cache and
+     * I-TLB footprint (DR-L1 / DR-TLB) rather than a BTB.
+     */
+    unsigned targetPool = 0;
+
+    bool operator==(const KernelSpec &) const = default;
+};
+
+/**
+ * Default footprint for a level under @p cfg's cache sizes: half the
+ * L1D for L1D, a quarter of the LLC (clear of both edges) for Llc, and
+ * 1.5x the LLC's *line capacity* times the stride for Mem, so the
+ * distinct-line working set exceeds the LLC no matter the stride.
+ */
+std::uint64_t defaultFootprintFor(MemLevel level, std::uint64_t stride,
+                                  const CoreConfig &cfg);
+
+/** The spec with footprintBytes resolved (and rounded to a power of 2). */
+KernelSpec resolvedSpec(const KernelSpec &spec, const CoreConfig &cfg);
+
+/**
+ * Canonical, parseable name encoding every field of @p spec
+ * (`kgen/v1:seed=..:it=..:...`). Stable across runs and platforms;
+ * workloads::byName() resolves these names via parseKernelName().
+ */
+std::string canonicalKernelName(const KernelSpec &spec);
+
+/** True when @p name looks like a canonicalKernelName(). */
+bool isGeneratedKernelName(const std::string &name);
+
+/** Inverse of canonicalKernelName (fatal on malformed/unknown names). */
+KernelSpec parseKernelName(const std::string &name);
+
+/**
+ * Content fingerprint of a spec (kernelGenVersion + every field):
+ * stable identity for golden expansion tests and sweep manifests.
+ */
+std::uint64_t kernelSpecFingerprint(const KernelSpec &spec);
+
+/**
+ * Deterministically expand @p spec into a runnable Workload. The
+ * program is named canonicalKernelName(spec); register x28 (count of
+ * swept branches that fell through) is architecturally observable so
+ * property tests can audit the realized taken ratio with the
+ * functional executor.
+ */
+Workload generateKernel(const KernelSpec &spec);
+
+/**
+ * Multi-phase kernel: each spec's loop runs to completion in order,
+ * over a disjoint heap region per phase. @p name is the program name
+ * (phases are not encoded in it — mixed kernels are addressed by
+ * content fingerprint, not by byName()).
+ */
+Workload generateMixedKernel(const std::string &name,
+                             const std::vector<KernelSpec> &phases);
+
+/**
+ * Total loads the memory phase of @p spec performs (iterations x
+ * loadsPerIteration; 0 when level == None) — the denominator for
+ * miss-rate band assertions against CoreStats event counts.
+ */
+std::uint64_t kernelLoads(const KernelSpec &spec);
+
+/** Total conditional swept branches @p spec executes. */
+std::uint64_t kernelBranches(const KernelSpec &spec);
+
+/**
+ * Register (index into ArchState::regs) holding the count of swept
+ * branches that fell through (not taken): realized taken ratio =
+ * 1 - regs[kernelNotTakenReg] / kernelBranches(spec).
+ */
+inline constexpr unsigned kernelNotTakenReg = 28;
+
+} // namespace workloads
+} // namespace tea
+
+#endif // TEA_WORKLOADS_KERNEL_GEN_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload registry: the single place a workload name resolves to a
+ * factory. The legacy SPEC-like suite lives in a fixed table (report
+ * order preserved); any canonical generated-kernel name (kernel_gen.hh,
+ * `kgen/v1:...`) resolves by parsing the spec out of the name — so
+ * generated scenarios are first-class citizens everywhere a benchmark
+ * name is accepted (runBenchmarkSuite, the trace cache, the CLIs).
+ *
+ * Call sites must never assume a fixed kernel count: iterate
+ * suiteNames() (legacy suite) or carry explicit experiment lists
+ * (sweeps). This file replaced the if-chain byName() that hard-wired
+ * the 15 hand-written kernels.
+ */
+
+#include "workloads/kernel_gen.hh"
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace tea {
+namespace workloads {
+
+namespace {
+
+struct RegistryEntry
+{
+    const char *name;
+    Workload (*make)();
+};
+
+/** The SPEC CPU2017-like suite, in report order (spec_like.cc). */
+constexpr RegistryEntry suiteTable[] = {
+    {"lbm", [] { return lbm(); }},
+    {"nab", [] { return nab(); }},
+    {"bwaves", [] { return bwaves(); }},
+    {"omnetpp", [] { return omnetpp(); }},
+    {"fotonik3d", [] { return fotonik3d(); }},
+    {"exchange2", [] { return exchange2(); }},
+    {"mcf", [] { return mcf(); }},
+    {"xalancbmk", [] { return xalancbmk(); }},
+    {"cactuBSSN", [] { return cactuBSSN(); }},
+    {"xz", [] { return xz(); }},
+    {"gcc", [] { return gcc(); }},
+    {"deepsjeng", [] { return deepsjeng(); }},
+    {"roms", [] { return roms(); }},
+    {"cam4", [] { return cam4(); }},
+    {"perlbench", [] { return perlbench(); }},
+};
+
+} // namespace
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    names.reserve(std::size(suiteTable));
+    for (const RegistryEntry &e : suiteTable)
+        names.emplace_back(e.name);
+    return names;
+}
+
+Workload
+byName(const std::string &name)
+{
+    for (const RegistryEntry &e : suiteTable) {
+        if (name == e.name)
+            return e.make();
+    }
+    if (isGeneratedKernelName(name))
+        return generateKernel(parseKernelName(name));
+    tea_fatal("unknown workload '%s' (not a suite benchmark or a "
+              "kgen/ spec name)",
+              name.c_str());
+}
+
+} // namespace workloads
+} // namespace tea

@@ -993,50 +993,5 @@ perlbench()
                     "forwarding)"};
 }
 
-std::vector<std::string>
-suiteNames()
-{
-    return {"lbm",       "nab",       "bwaves",    "omnetpp",
-            "fotonik3d", "exchange2", "mcf",       "xalancbmk",
-            "cactuBSSN", "xz",        "gcc",       "deepsjeng",
-            "roms",      "cam4",      "perlbench"};
-}
-
-Workload
-byName(const std::string &name)
-{
-    if (name == "lbm")
-        return lbm();
-    if (name == "nab")
-        return nab();
-    if (name == "bwaves")
-        return bwaves();
-    if (name == "omnetpp")
-        return omnetpp();
-    if (name == "fotonik3d")
-        return fotonik3d();
-    if (name == "exchange2")
-        return exchange2();
-    if (name == "mcf")
-        return mcf();
-    if (name == "xalancbmk")
-        return xalancbmk();
-    if (name == "cactuBSSN")
-        return cactuBSSN();
-    if (name == "xz")
-        return xz();
-    if (name == "gcc")
-        return gcc();
-    if (name == "deepsjeng")
-        return deepsjeng();
-    if (name == "roms")
-        return roms();
-    if (name == "cam4")
-        return cam4();
-    if (name == "perlbench")
-        return perlbench();
-    tea_fatal("unknown workload '%s'", name.c_str());
-}
-
 } // namespace workloads
 } // namespace tea
