@@ -43,7 +43,8 @@ main()
     std::vector<SamplerConfig> techs;
     for (Cycle p : periods) {
         for (SamplerConfig c : standardTechniques(p)) {
-            c.name += "@" + std::to_string(p);
+            c.name += '@';
+            c.name += std::to_string(p);
             techs.push_back(c);
         }
     }

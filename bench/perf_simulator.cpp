@@ -9,8 +9,9 @@
  * After the microbenchmarks, main() runs two end-to-end measurements:
  * the simulate phase itself (reference cycle-stepped loop vs the
  * event-driven fast path, into BENCH_simulator.json) and the persistent
- * trace cache (one cold simulate+store run vs one warm mmap+decode+replay
- * run, into BENCH_trace_cache.json), both for CI tracking.
+ * trace cache (one cold simulate+store run vs best-of-4 warm
+ * mmap+decode+replay runs, into BENCH_trace_cache.json), both for CI
+ * tracking.
  */
 
 #include <benchmark/benchmark.h>
@@ -19,6 +20,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <dirent.h>
@@ -31,6 +34,7 @@
 #include "core/core.hh"
 #include "core/trace_buffer.hh"
 #include "core/trace_codec.hh"
+#include "core/varint.hh"
 #include "profilers/pics.hh"
 #include "workloads/workload.hh"
 
@@ -107,6 +111,97 @@ BM_PicsAddAndMask(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PicsAddAndMask);
+
+void
+BM_VarintBulkDecode(benchmark::State &state)
+{
+    // A realistic mix: mostly one-byte varints with occasional wider
+    // ones, like a delta-coded stream.
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t n_values = 0;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < 1 << 20; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        std::uint64_t v = (x & 0xff) < 240 ? (x & 0x7f) : (x & 0xffffff);
+        while (v >= 0x80) {
+            bytes.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+            v >>= 7;
+        }
+        bytes.push_back(static_cast<std::uint8_t>(v));
+        ++n_values;
+    }
+    const auto kernel = static_cast<VarintKernel>(state.range(0));
+    if (!varintKernelSupported(kernel)) {
+        state.SkipWithError("kernel unsupported on this host");
+        return;
+    }
+    const VarintKernel before = activeVarintKernel();
+    setVarintKernel(kernel);
+    std::vector<std::uint64_t> out(n_values);
+    std::uint64_t decoded = 0;
+    for (auto _ : state) {
+        std::size_t count = 0;
+        if (!decodeVarints(bytes.data(), bytes.size(), out.data(),
+                           &count))
+            state.SkipWithError("decode failed");
+        decoded += count;
+        benchmark::DoNotOptimize(out.data());
+    }
+    setVarintKernel(before);
+    state.SetLabel(varintKernelName(kernel));
+    state.counters["values/s"] = benchmark::Counter(
+        static_cast<double>(decoded), benchmark::Counter::kIsRate);
+    state.counters["bytes/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * bytes.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VarintBulkDecode)
+    ->Arg(static_cast<int>(VarintKernel::Scalar))
+    ->Arg(static_cast<int>(VarintKernel::Sse2))
+    ->Arg(static_cast<int>(VarintKernel::Avx2))
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceChunkDecode(benchmark::State &state)
+{
+    // Capture a real trace once, encode it once; each iteration decodes
+    // every frame through one reused decoder — the warm-replay decode
+    // loop in isolation.
+    Workload w = workloads::aluLoop(2000);
+    TraceBuffer buf(4096);
+    CoreConfig cfg;
+    Core core(cfg, w.program, std::move(w.initial));
+    core.addSink(&buf);
+    core.run();
+    buf.finish();
+
+    std::vector<std::uint8_t> frames;
+    std::vector<std::size_t> offsets;
+    for (const TraceChunkPtr &chunk : buf.chunks()) {
+        offsets.push_back(frames.size());
+        encodeChunk(*chunk, frames);
+    }
+
+    ChunkDecoder decoder;
+    TraceChunk back;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        for (std::size_t at : offsets) {
+            std::size_t consumed = 0;
+            if (!decoder.decode(frames.data() + at, frames.size() - at,
+                                back, &consumed, nullptr))
+                state.SkipWithError("decode failed");
+            events += back.events.size();
+            benchmark::DoNotOptimize(back.cycleRecords);
+        }
+    }
+    state.SetLabel(varintKernelName(activeVarintKernel()));
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceChunkDecode)->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceCodecRoundTrip(benchmark::State &state)
@@ -289,6 +384,12 @@ measureSimulator()
  * End-to-end trace-cache measurement: cold run (simulate, all observers
  * attached, entry stored) vs warm run (mmap, decode, replay) of the
  * identical experiment, into BENCH_trace_cache.json.
+ *
+ * The JSON carries two CI-gated throughputs: decode_events_per_second
+ * (events over the time spent strictly inside chunk decode, the SIMD
+ * codec in isolation) and warm_replay_events_per_second (events over
+ * the observer-side batched replay time), plus the machine context
+ * (core count, selected varint kernel) those numbers depend on.
  */
 int
 measureTraceCache()
@@ -315,16 +416,44 @@ measureTraceCache()
     };
 
     ExperimentResult cold = run();
-    ExperimentResult warm = run();
-    removeTree(dir);
-
-    if (cold.replay.cacheHit || !cold.replay.cacheStored ||
-        !warm.replay.cacheHit) {
+    if (cold.replay.cacheHit || !cold.replay.cacheStored) {
+        removeTree(dir);
         std::fprintf(stderr,
                      "trace-cache bench: unexpected cache behaviour "
-                     "(cold hit=%d stored=%d, warm hit=%d)\n",
-                     cold.replay.cacheHit, cold.replay.cacheStored,
-                     warm.replay.cacheHit);
+                     "(cold hit=%d stored=%d)\n",
+                     cold.replay.cacheHit, cold.replay.cacheStored);
+        return 1;
+    }
+
+    // Best-of-N on the warm side, per phase: like measureSimulator
+    // above, these runs are short enough that load drift on a shared CI
+    // box easily costs 20%, and decode and replay are disturbed
+    // independently, so each phase keeps its own minimum.
+    ExperimentResult warm = run();
+    double decode_s = warm.replay.decodeSeconds;
+    double replay_s = warm.replay.replaySeconds;
+    for (int rep = 1; rep < 4; ++rep) {
+        ExperimentResult w = run();
+        if (!w.replay.cacheHit || w.stats.cycles != cold.stats.cycles) {
+            removeTree(dir);
+            std::fprintf(stderr,
+                         "trace-cache bench: warm repeat %d diverged "
+                         "(hit=%d)\n",
+                         rep, w.replay.cacheHit);
+            return 1;
+        }
+        if (w.replay.decodeSeconds < decode_s)
+            decode_s = w.replay.decodeSeconds;
+        if (w.replay.replaySeconds < replay_s)
+            replay_s = w.replay.replaySeconds;
+        if (w.replay.totalSeconds < warm.replay.totalSeconds)
+            warm = std::move(w);
+    }
+    removeTree(dir);
+
+    if (!warm.replay.cacheHit) {
+        std::fprintf(stderr,
+                     "trace-cache bench: warm run missed the cache\n");
         return 1;
     }
     if (warm.stats.cycles != cold.stats.cycles) {
@@ -333,20 +462,24 @@ measureTraceCache()
     }
 
     double speedup = cold.replay.totalSeconds / warm.replay.totalSeconds;
-    double decode_rate =
-        warm.replay.decodeSeconds > 0.0
-            ? static_cast<double>(warm.replay.eventsCaptured) /
-                  warm.replay.decodeSeconds
-            : 0.0;
+    const auto events =
+        static_cast<double>(warm.replay.eventsCaptured);
+    double decode_rate = decode_s > 0.0 ? events / decode_s : 0.0;
+    double replay_rate = replay_s > 0.0 ? events / replay_s : 0.0;
+    const char *kernel = varintKernelName(activeVarintKernel());
+    const unsigned cores = std::thread::hardware_concurrency();
 
     std::printf("trace cache: cold %.3f s, warm %.3f s (%.1fx), "
-                "%llu events, %.1f Mevents/s decode, %llu bytes on disk\n",
+                "%llu events, %.1f Mevents/s decode, "
+                "%.1f Mevents/s replay, %llu bytes on disk "
+                "(%s kernel, %u cores)\n",
                 cold.replay.totalSeconds, warm.replay.totalSeconds,
                 speedup,
                 static_cast<unsigned long long>(
                     warm.replay.eventsCaptured),
-                decode_rate / 1e6,
-                static_cast<unsigned long long>(warm.replay.cacheBytes));
+                decode_rate / 1e6, replay_rate / 1e6,
+                static_cast<unsigned long long>(warm.replay.cacheBytes),
+                kernel, cores);
 
     std::FILE *f = std::fopen("BENCH_trace_cache.json", "w");
     if (!f) {
@@ -363,14 +496,17 @@ measureTraceCache()
                  "  \"cold_seconds\": %.6f,\n"
                  "  \"warm_seconds\": %.6f,\n"
                  "  \"speedup\": %.3f,\n"
-                 "  \"decode_events_per_second\": %.0f\n"
+                 "  \"decode_events_per_second\": %.0f,\n"
+                 "  \"warm_replay_events_per_second\": %.0f,\n"
+                 "  \"machine_cores\": %u,\n"
+                 "  \"varint_kernel\": \"%s\"\n"
                  "}\n",
                  workload,
                  static_cast<unsigned long long>(
                      warm.replay.eventsCaptured),
                  static_cast<unsigned long long>(warm.replay.cacheBytes),
                  cold.replay.totalSeconds, warm.replay.totalSeconds,
-                 speedup, decode_rate);
+                 speedup, decode_rate, replay_rate, cores, kernel);
     std::fclose(f);
     return 0;
 }

@@ -85,12 +85,13 @@ main(int argc, char **argv)
         if (++shown > 10)
             break;
         double delta = r.after - r.before;
+        std::string signed_delta(1, delta >= 0 ? '+' : '-');
+        signed_delta +=
+            fmtCount(static_cast<std::uint64_t>(std::abs(delta)));
         t.row({r.disasm,
                fmtCount(static_cast<std::uint64_t>(r.before)),
                fmtCount(static_cast<std::uint64_t>(r.after)),
-               (delta >= 0 ? "+" : "-") +
-                   fmtCount(static_cast<std::uint64_t>(
-                       std::abs(delta)))});
+               signed_delta});
     }
     t.print();
     std::puts("\nThe critical load's cycles collapse; store-side cycles "

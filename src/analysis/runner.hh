@@ -77,12 +77,32 @@ struct RunnerOptions
     unsigned cacheLockTimeoutMs = 5000;
 
     /**
+     * Warm-hit frame-decode parallelism: threads decoding chunk frames
+     * out of a mapped trace-cache entry concurrently. Frames are
+     * self-contained (MappedTraceFile::decodeFrame), and the pump
+     * hands chunks to the observers in file order regardless of which
+     * thread decoded them, so results are bit-identical at any
+     * setting. 1 decodes inline in the producer (the default and the
+     * historical behaviour).
+     */
+    unsigned decodeThreads = 1;
+
+    /**
+     * Decode-ahead bound, in frames per decode thread: how far
+     * out-of-order frame decodes may run ahead of the in-order handoff
+     * before backpressure pauses them. Larger windows ride out uneven
+     * frame decode times at the cost of more chunks held in memory.
+     */
+    std::size_t batchFrames = 4;
+
+    /**
      * Options from the environment: TEA_THREADS (default 1),
      * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, TEA_AUDIT (default 0, see
-     * audit above), TEA_CACHE_LOCK_TIMEOUT_MS, and the trace-cache
-     * controls TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see
-     * TraceCacheOptions). TEA_THREADS=0 means "one worker per hardware
-     * thread".
+     * audit above), TEA_CACHE_LOCK_TIMEOUT_MS, TEA_DECODE_THREADS and
+     * TEA_BATCH_FRAMES (see decodeThreads/batchFrames above), and the
+     * trace-cache controls TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see
+     * TraceCacheOptions). TEA_THREADS=0 and TEA_DECODE_THREADS=0 mean
+     * "one worker per hardware thread".
      */
     static RunnerOptions fromEnv();
 };

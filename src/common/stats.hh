@@ -133,7 +133,14 @@ struct ReplayStats
     bool cacheHit = false;      ///< trace came from the persistent cache
     bool cacheStored = false;   ///< this run published a new cache entry
     std::uint64_t cacheBytes = 0; ///< on-disk size of the entry used/made
-    double decodeSeconds = 0.0; ///< producer wall time decoding cached chunks
+    /**
+     * Wall time spent inside chunk decode on a warm cache hit (summed
+     * across decode threads when TEA_DECODE_THREADS > 1). Metered
+     * around the decode calls only — queue backpressure and observer
+     * time are excluded, so decode and technique-accumulation cost
+     * stay separately attributable.
+     */
+    double decodeSeconds = 0.0;
     double replaySeconds = 0.0; ///< observer wall time (max across workers)
 
     // Self-healing counters (common/retry, analysis/trace_cache

@@ -32,7 +32,14 @@ struct CommittedUop
     Psv psv;
 };
 
-/** Per-cycle commit-stage snapshot. */
+/**
+ * Per-cycle commit-stage snapshot.
+ *
+ * Field order is a cache layout decision, not alphabetical: the scalar
+ * fields every consumer reads sit before the 128-byte committed array,
+ * so a typical record (0-2 commits) is produced and consumed touching
+ * only the record's first cache lines. Keep the array last.
+ */
 struct CycleRecord
 {
     Cycle cycle = 0;
@@ -40,7 +47,6 @@ struct CycleRecord
 
     /** Micro-ops committed this cycle (state == Compute). */
     std::uint8_t numCommitted = 0;
-    std::array<CommittedUop, 8> committed{};
 
     /** Head of the ROB (valid in the Stalled state). */
     bool headValid = false;
@@ -51,6 +57,9 @@ struct CycleRecord
     bool lastValid = false;
     InstIndex lastPc = invalidInstIndex;
     Psv lastPsv;
+
+    /** Micro-ops committed this cycle (slots < numCommitted valid). */
+    std::array<CommittedUop, 8> committed{};
 };
 
 /** A micro-op passing a front-end stage (fetch or dispatch). */

@@ -81,9 +81,31 @@ deliverEvent(const TraceEvent &ev, TraceSink &sink)
 std::uint64_t
 replayChunk(const TraceChunk &chunk, const std::vector<TraceSink *> &sinks)
 {
-    for (const TraceEvent &ev : chunk.events) {
-        for (TraceSink *s : sinks)
-            deliverEvent(ev, *s);
+    // Sink-major batched delivery: one onBatch call per sink per
+    // End-free segment, instead of two virtual calls per (event, sink)
+    // pair. Sinks are independent observers — each still sees every
+    // event in capture order, only the interleaving across sinks
+    // changes, which no observer can detect. End events keep their
+    // dedicated onEnd call (the onBatch contract, core/trace.hh);
+    // ChunkingSink closes a chunk right after End, so the scan below
+    // almost always finds a single End-free segment.
+    const TraceEvent *const ev = chunk.events.data();
+    const std::size_t n = chunk.events.size();
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j < n && ev[j].kind != TraceEventKind::End)
+            ++j;
+        if (j > i) {
+            for (TraceSink *s : sinks)
+                s->onBatch(ev + i, j - i);
+        }
+        if (j < n) {
+            for (TraceSink *s : sinks)
+                s->onEnd(ev[j].p.end);
+            ++j;
+        }
+        i = j;
     }
     return chunk.cycleRecords;
 }

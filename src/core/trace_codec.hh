@@ -17,11 +17,13 @@
  * detectable (CRC) without touching its neighbours.
  *
  * Fields gated by a validity flag (ROB head, last-committed, committed
- * slots beyond numCommitted) are encoded only when valid; decode
- * reconstructs the canonical record with default-initialized invalid
- * fields. Observers only read valid fields, so replay through the codec
- * is observationally identical to in-memory replay (eventsEquivalent()
- * in trace_buffer.hh spells out this equivalence).
+ * slots beyond numCommitted) are encoded only when valid, and decode
+ * writes only the valid ones back: gated fields whose flag is clear
+ * hold unspecified contents in a decoded record. Every consumer must
+ * honor the validity flags — which TraceSink observers and
+ * eventsEquivalent() (trace_buffer.hh) do already — so replay through
+ * the codec is observationally identical to in-memory replay while
+ * decode touches a fraction of the record's bytes.
  */
 
 #ifndef TEA_CORE_TRACE_CODEC_HH
@@ -29,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,14 +77,53 @@ bool verifyFrame(const std::uint8_t *data, std::size_t avail,
                  std::string *why);
 
 /**
- * Decode the frame at @p data into @p out (replacing its contents).
- * Every read is bounds-checked, so arbitrary bytes never crash — they
- * produce an error. Does not re-verify the CRC; callers validating
- * untrusted input run verifyFrame() first (the mmap reader does this
- * for the whole file before any event is delivered).
+ * Reusable frame decoder.
  *
- * @param consumed set to the frame size on success
- * @return false (with @p why set) on malformed input
+ * Decoding runs in two stages: first every varint stream of the frame
+ * is bulk-decoded into a per-stream value lane (this is where the SIMD
+ * kernels in core/varint run); then kind-grouped assembly loops write
+ * each event's fields in place, rebuilding absolute values from the
+ * zigzag deltas as each lane is consumed in encode order.
+ * The lanes are owned by the decoder and grow to the largest frame
+ * seen, so a decoder held across a replay loop allocates only on the
+ * first few frames.
+ *
+ * Not thread-safe; use one decoder per thread. Results are
+ * bit-identical across varint kernels and identical to the original
+ * event-at-a-time decoder.
+ */
+class ChunkDecoder
+{
+  public:
+    ChunkDecoder();
+    ~ChunkDecoder();
+
+    ChunkDecoder(ChunkDecoder &&) noexcept;
+    ChunkDecoder &operator=(ChunkDecoder &&) noexcept;
+
+    /**
+     * Decode the frame at @p data into @p out (replacing its contents).
+     * Every read is bounds-checked, so arbitrary bytes never crash —
+     * they produce an error. Does not re-verify the CRC; callers
+     * validating untrusted input run verifyFrame() first (the mmap
+     * reader does this for the whole file before any event is
+     * delivered).
+     *
+     * @param consumed set to the frame size on success
+     * @return false (with @p why set) on malformed input
+     */
+    bool decode(const std::uint8_t *data, std::size_t avail,
+                TraceChunk &out, std::size_t *consumed, std::string *why);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * One-shot convenience wrapper around ChunkDecoder::decode (same
+ * contract). Callers decoding many frames should hold a ChunkDecoder
+ * to reuse its lanes instead.
  */
 bool decodeChunk(const std::uint8_t *data, std::size_t avail,
                  TraceChunk &out, std::size_t *consumed, std::string *why);

@@ -1,5 +1,6 @@
 #include "core/trace_io.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -562,6 +563,7 @@ MappedTraceFile::open(const std::string &path,
     f->payloadOffset_ = sizeof(hdr) + hdr.statsBytes;
     std::size_t at = f->payloadOffset_;
     std::uint64_t chunks = 0, events = 0, cycles = 0;
+    f->frameOffsets_.reserve(static_cast<std::size_t>(hdr.chunkCount));
     while (at < size) {
         std::string why;
         if (!verifyFrame(f->base_ + at, size - at, &why))
@@ -571,6 +573,7 @@ MappedTraceFile::open(const std::string &path,
                                     why.c_str()));
         ChunkFrameHeader ch;
         peekFrame(f->base_ + at, size - at, &ch, nullptr);
+        f->frameOffsets_.push_back(at);
         ++chunks;
         events += ch.eventCount;
         cycles += ch.cycleRecords;
@@ -590,21 +593,77 @@ MappedTraceFile::open(const std::string &path,
 TraceChunkPtr
 MappedTraceFile::nextChunk()
 {
-    if (cursor_ >= size_)
+    if (nextFrame_ >= frameOffsets_.size())
         return nullptr;
+    // Reuse chunk storage once its consumer has dropped it:
+    // chunk-sized event vectors sit above malloc's mmap threshold, so
+    // allocating afresh per frame pays kernel page-zeroing and cold
+    // misses across the whole chunk on every decode. The storage is a
+    // ring rather than a single slot so consumers that hold a batch of
+    // decoded chunks in flight still recycle instead of allocating.
+    std::shared_ptr<TraceChunk> out;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        std::shared_ptr<TraceChunk> &slot = scratch_[scratchNext_];
+        scratchNext_ = (scratchNext_ + 1) % scratch_.size();
+        if (slot.use_count() == 1) {
+            out = slot;
+            break;
+        }
+    }
+    if (!out) {
+        out = std::make_shared<TraceChunk>();
+        scratch_.push_back(out);
+        scratchNext_ = 0;
+    }
+    decodeFrameInto(nextFrame_++, decoder_, *out);
+    // Software-pipeline the source bytes: start pulling the next
+    // frame's encoded streams toward the cache now, so they arrive
+    // while the consumer replays this chunk instead of stalling the
+    // next decode burst. The consumer's work between nextChunk()
+    // calls evicts these lines from L1/L2 otherwise, and the decode
+    // loops are fast enough that refilling on demand is a measurable
+    // slice of warm-replay decode time.
+    if (nextFrame_ < frameOffsets_.size()) {
+        const std::size_t at = frameOffsets_[nextFrame_];
+        const std::size_t frameEnd = nextFrame_ + 1 < frameOffsets_.size()
+                                         ? frameOffsets_[nextFrame_ + 1]
+                                         : size_;
+        // Cap the touch: a pathologically large frame would otherwise
+        // blow the very cache this is trying to keep warm.
+        const std::size_t stop =
+            std::min(frameEnd, at + (std::size_t{64} << 10));
+        for (std::size_t p = at; p < stop; p += 64)
+            __builtin_prefetch(base_ + p, 0 /*read*/, 3 /*keep*/);
+    }
+    return out;
+}
+
+TraceChunkPtr
+MappedTraceFile::decodeFrame(std::size_t index,
+                             ChunkDecoder &decoder) const
+{
     auto chunk = std::make_shared<TraceChunk>();
+    decodeFrameInto(index, decoder, *chunk);
+    return chunk;
+}
+
+void
+MappedTraceFile::decodeFrameInto(std::size_t index, ChunkDecoder &decoder,
+                                 TraceChunk &out) const
+{
+    tea_assert(index < frameOffsets_.size(),
+               "frame index %zu out of range (%zu frames)", index,
+               frameOffsets_.size());
+    const std::size_t at = frameOffsets_[index];
     std::size_t consumed = 0;
     std::string why;
-    if (!decodeChunk(base_ + cursor_, size_ - cursor_, *chunk, &consumed,
-                     &why)) {
+    if (!decoder.decode(base_ + at, size_ - at, out, &consumed, &why)) {
         // Every frame passed CRC validation at open(); failing to
         // decode now means the codec itself is inconsistent.
         tea_panic("trace cache '%s': CRC-clean frame failed to decode "
                   "(%s)",
                   path_.c_str(), why.c_str());
     }
-    cursor_ += consumed;
-    return chunk;
 }
 
 } // namespace tea

@@ -29,6 +29,7 @@
 #include "core/core.hh"
 #include "core/trace.hh"
 #include "core/trace_buffer.hh"
+#include "core/trace_codec.hh"
 
 namespace tea {
 
@@ -183,15 +184,41 @@ class MappedTraceFile
     std::uint64_t fileBytes() const { return size_; }
 
     /** Reset the chunk cursor to the first chunk. */
-    void rewind() { cursor_ = payloadOffset_; }
+    void rewind() { nextFrame_ = 0; }
 
     /**
      * Decode and return the next chunk, or nullptr after the last one.
      * The file was fully CRC-verified at open(), so a decode failure
      * here is an internal invariant violation (panic), not a user
-     * error.
+     * error. Uses the file's own decoder; not thread-safe.
      */
     TraceChunkPtr nextChunk();
+
+    /**
+     * Random access for parallel decode: frames are self-contained
+     * (all codec delta state resets per frame), so any frame can be
+     * decoded independently of its neighbours. The frame offset table
+     * is built during open()'s validation scan.
+     */
+    std::size_t frameCount() const { return frameOffsets_.size(); }
+
+    /**
+     * Decode frame @p index through the caller's @p decoder. Reads
+     * only immutable mapped bytes, so any number of threads may decode
+     * disjoint frames concurrently, each with its own decoder. Panics
+     * on decode failure, like nextChunk().
+     */
+    TraceChunkPtr decodeFrame(std::size_t index,
+                              ChunkDecoder &decoder) const;
+
+    /**
+     * Same, decoding into caller-owned storage (@p out is replaced).
+     * Callers looping over frames reuse one chunk to keep its event
+     * vector's pages warm instead of paying a fresh allocation (and
+     * the kernel's page zeroing) per frame.
+     */
+    void decodeFrameInto(std::size_t index, ChunkDecoder &decoder,
+                         TraceChunk &out) const;
 
   private:
     MappedTraceFile() = default;
@@ -199,12 +226,24 @@ class MappedTraceFile
     const std::uint8_t *base_ = nullptr;
     std::size_t size_ = 0;
     std::size_t payloadOffset_ = 0;
-    std::size_t cursor_ = 0;
+    std::size_t nextFrame_ = 0; ///< nextChunk() cursor (frame index)
     std::string path_;
     CoreStats stats_{};
     std::uint64_t chunkCount_ = 0;
     std::uint64_t eventCount_ = 0;
     std::uint64_t cycleCount_ = 0;
+    std::vector<std::size_t> frameOffsets_; ///< byte offset per frame
+    ChunkDecoder decoder_;
+    /**
+     * nextChunk() storage ring. Entries are reused once the consumer
+     * has dropped them, so a caller holding a batch of n decoded
+     * chunks in flight grows the ring to n+1 slots and every later
+     * decode recycles warm storage instead of paying a fresh
+     * chunk-sized allocation (and the kernel's page zeroing) per
+     * frame.
+     */
+    std::vector<std::shared_ptr<TraceChunk>> scratch_;
+    std::size_t scratchNext_ = 0; ///< ring rotation cursor
 };
 
 } // namespace tea

@@ -10,9 +10,12 @@ regName(RegId r)
 {
     if (r == noReg)
         return "-";
-    if (r < 32)
-        return "x" + std::to_string(r);
-    return "f" + std::to_string(r - 32);
+    // Built with += rather than `"x" + std::to_string(...)`: GCC 12's
+    // -O3 -Wrestrict misfires on operator+(const char*, string&&) and
+    // -Werror turns that false positive into a broken release build.
+    std::string name(1, r < 32 ? 'x' : 'f');
+    name += std::to_string(r < 32 ? r : r - 32);
+    return name;
 }
 
 std::string
@@ -67,7 +70,8 @@ disassemble(const StaticInst &si)
         pad();
         if (isCondBranch(si.op))
             out += regName(si.rs1) + ", " + regName(si.rs2) + ", ";
-        out += "@" + std::to_string(si.target);
+        out += '@';
+        out += std::to_string(si.target);
         break;
       case InstClass::Csr:
       case InstClass::Nop:

@@ -1,6 +1,7 @@
 #include "profilers/golden.hh"
 
 #include "common/logging.hh"
+#include "core/trace_buffer.hh"
 
 namespace tea {
 
@@ -56,6 +57,37 @@ GoldenReference::onRetire(const RetireRecord &rec)
     for (unsigned i = 0; i < numEvents; ++i) {
         if (rec.psv.test(static_cast<Event>(i)))
             ++counts[i];
+    }
+}
+
+// tea_lint: hot
+void
+GoldenReference::onBatch(const TraceEvent *events, std::size_t n)
+{
+    // Batched replay inner loop: the same per-kind logic as the
+    // virtual callbacks (the class is final, so these calls resolve
+    // statically), minus the per-event virtual hop the default
+    // TraceSink::onBatch fan-out pays. Dispatch and fetch events are
+    // skipped outright — the golden reference only consumes commit
+    // state and retires.
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &ev = events[i];
+        switch (ev.kind) {
+          case TraceEventKind::Cycle:
+            onCycle(ev.p.cycle);
+            break;
+          case TraceEventKind::Retire:
+            onRetire(ev.p.retire);
+            break;
+          case TraceEventKind::Dispatch:
+          case TraceEventKind::Fetch:
+            break;
+          case TraceEventKind::End:
+            // Producers keep End out of batches (core/trace.hh), but a
+            // hand-built chunk may still carry one; honor it.
+            onEnd(ev.p.end);
+            break;
+        }
     }
 }
 

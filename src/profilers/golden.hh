@@ -25,8 +25,15 @@
 
 namespace tea {
 
-/** Exact, non-sampling time-proportional PICS collector. */
-class GoldenReference : public TraceSink
+/**
+ * Exact, non-sampling time-proportional PICS collector.
+ *
+ * `final` matters for speed, not just hygiene: the batched replay path
+ * (replayChunk, core/trace_buffer) delivers whole chunks through
+ * onBatch, whose per-kind dispatch below devirtualizes into direct
+ * calls only when the compiler can prove no subclass overrides them.
+ */
+class GoldenReference final : public TraceSink
 {
   public:
     GoldenReference() = default;
@@ -34,6 +41,7 @@ class GoldenReference : public TraceSink
     void onCycle(const CycleRecord &rec) override;
     void onRetire(const RetireRecord &rec) override;
     void onEnd(Cycle final_cycle) override;
+    void onBatch(const TraceEvent *events, std::size_t n) override;
 
     /** The exact instruction-granularity PICS. */
     const Pics &pics() const { return pics_; }

@@ -18,12 +18,18 @@ granularityName(Granularity g)
     tea_panic("unknown granularity");
 }
 
+// tea_lint: hot
 void
 Pics::add(InstIndex pc, Psv psv, double cycles)
 {
     if (cycles <= 0.0)
         return;
-    cells_[key(pc, psv.bits())] += cycles;
+    const std::uint64_t k = key(pc, psv.bits());
+    if (k != lastKey_) {
+        lastCell_ = &cells_[k];
+        lastKey_ = k;
+    }
+    *lastCell_ += cycles;
     total_ += cycles;
 }
 

@@ -68,8 +68,14 @@ SamplerConfig tipConfig(Cycle period = 127);
  */
 SamplerConfig dtagTeaConfig(Cycle period = 127);
 
-/** A sampling PICS collector attached to the cycle trace. */
-class TechniqueSampler : public TraceSink
+/**
+ * A sampling PICS collector attached to the cycle trace.
+ *
+ * `final` lets the batched replay path (replayChunk delivering whole
+ * chunks through onBatch) devirtualize the per-kind calls inside the
+ * batch loop into direct, inlinable ones.
+ */
+class TechniqueSampler final : public TraceSink
 {
   public:
     explicit TechniqueSampler(SamplerConfig cfg);
@@ -79,6 +85,7 @@ class TechniqueSampler : public TraceSink
     void onFetch(const UopRecord &rec) override;
     void onRetire(const RetireRecord &rec) override;
     void onEnd(Cycle final_cycle) override;
+    void onBatch(const TraceEvent *events, std::size_t n) override;
 
     const SamplerConfig &config() const { return cfg_; }
 

@@ -200,8 +200,13 @@ emitPool(ProgramBuilder &b, unsigned phase_idx, unsigned pool,
          const std::vector<Label> &labels)
 {
     for (unsigned t = 0; t < pool; ++t) {
-        b.beginFunction("p" + std::to_string(phase_idx) + "_fn" +
-                        std::to_string(t));
+        // += instead of leading `"p" + ...`: GCC 12's -O3 -Wrestrict
+        // misfires on operator+(const char*, string&&) under -Werror.
+        std::string fn = "p";
+        fn += std::to_string(phase_idx);
+        fn += "_fn";
+        fn += std::to_string(t);
+        b.beginFunction(fn);
         b.bind(labels[t]);
         for (unsigned k = 0; k + 2 < poolFnInsts; ++k) {
             unsigned r = (k % 3 == 0)   ? regPoolA

@@ -31,11 +31,13 @@ manyTechniques()
     std::vector<SamplerConfig> techs;
     for (Cycle period : {31u, 127u, 509u}) {
         for (SamplerConfig c : standardTechniques(period)) {
-            c.name += "@" + std::to_string(period);
+            c.name += '@';
+            c.name += std::to_string(period);
             techs.push_back(c);
         }
         SamplerConfig tip = tipConfig(period);
-        tip.name += "@" + std::to_string(period);
+        tip.name += '@';
+        tip.name += std::to_string(period);
         techs.push_back(tip);
     }
     return techs;

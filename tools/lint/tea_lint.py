@@ -40,13 +40,14 @@ Six rules, each enforcing an invariant the compiler cannot:
                      and say why in a comment.
 
   hot-alloc          Inside functions annotated `// tea_lint: hot` in
-                     src/core/, no heap allocation may occur: no
-                     new/make_unique/make_shared/malloc, and no
-                     push_back/emplace_back on a container that is not
-                     `reserve()`d somewhere in the same file (the
-                     fast-path contract: per-cycle work runs entirely
-                     in pre-sized storage). Suppress a deliberate
-                     cold-path allocation with
+                     src/core/ and src/profilers/, no heap allocation
+                     may occur: no new/make_unique/make_shared/malloc,
+                     and no push_back/emplace_back on a container that
+                     is not `reserve()`d somewhere in the same file
+                     (the fast-path contract: per-cycle work — and the
+                     batched onBatch/add inner loops of the profilers —
+                     runs entirely in pre-sized storage). Suppress a
+                     deliberate cold-path allocation with
                      `tea_lint: allow(hot-alloc)`.
 
 Exit status 0 when clean; 1 with `file:line: [rule] message` diagnostics
@@ -420,7 +421,7 @@ class Linter:
                 self.check_unchecked_io(path, stripped, raw_lines)
             self.check_enum_switches(path, stripped, raw_lines, members)
             self.check_worker_guards(path, stripped, raw_lines)
-            if path.parent.name == "core":
+            if path.parent.name in ("core", "profilers"):
                 self.check_hot_alloc(path, stripped, raw_lines)
 
         if self.violations:

@@ -3,28 +3,34 @@
 baseline and fail on regression.
 
 Both files are flat JSON objects as written by bench/perf_simulator
-(BENCH_simulator.json, BENCH_trace_cache.json). The comparison is on a
-single throughput key (higher is better): exit 1 if the current value
-falls more than --max-regress below the baseline. Improvements never
-fail; a gentle reminder is printed when the baseline looks stale
-(current value far above it) so it gets refreshed.
+(BENCH_simulator.json, BENCH_trace_cache.json). The comparison is on one
+or more throughput keys (higher is better), each given with a repeated
+--key flag: exit 1 if any current value falls more than --max-regress
+below its baseline. Improvements never fail; a gentle reminder is
+printed when a baseline looks stale (current value far above it) so it
+gets refreshed. On failure a per-field delta table of every compared
+key is printed so the offending fields are visible at a glance.
 
 Usage:
     check_perf.py BASELINE.json CURRENT.json \
-        --key fastpath_events_per_second [--max-regress 0.20]
+        --key decode_events_per_second \
+        --key warm_replay_events_per_second [--max-regress 0.20]
 """
 
 import argparse
-import json
 import sys
+import json
 
 
-def load(path: str, key: str) -> float:
+def load(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as f:
-            data = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         sys.exit(f"check_perf: cannot read {path}: {e}")
+
+
+def value_of(data: dict, path: str, key: str) -> float:
     if key not in data:
         sys.exit(f"check_perf: {path} has no key '{key}'")
     value = data[key]
@@ -34,30 +40,60 @@ def load(path: str, key: str) -> float:
     return float(value)
 
 
+def delta_table(rows) -> str:
+    """Render compared fields as an aligned table (used on failure)."""
+    header = ("key", "baseline", "current", "delta", "status")
+    cells = [header] + [
+        (key, f"{base:,.0f}", f"{cur:,.0f}", f"{change:+.1%}", status)
+        for key, base, cur, change, status in rows
+    ]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(header))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", help="checked-in baseline JSON")
     ap.add_argument("current", help="freshly measured JSON")
-    ap.add_argument("--key", default="fastpath_events_per_second",
-                    help="throughput key to compare (higher is better)")
+    ap.add_argument("--key", action="append", dest="keys", metavar="KEY",
+                    help="throughput key to compare, higher is better "
+                         "(repeatable; default "
+                         "fastpath_events_per_second)")
     ap.add_argument("--max-regress", type=float, default=0.20,
                     help="maximum tolerated fractional regression "
                          "(default 0.20)")
     args = ap.parse_args()
+    keys = args.keys or ["fastpath_events_per_second"]
 
-    base = load(args.baseline, args.key)
-    cur = load(args.current, args.key)
-    change = (cur - base) / base
+    base_data = load(args.baseline)
+    cur_data = load(args.current)
 
-    print(f"check_perf: {args.key}: baseline {base:,.0f}, "
-          f"current {cur:,.0f} ({change:+.1%})")
-    if change < -args.max_regress:
+    rows = []
+    failed = False
+    for key in keys:
+        base = value_of(base_data, args.baseline, key)
+        cur = value_of(cur_data, args.current, key)
+        change = (cur - base) / base
+        status = "FAIL" if change < -args.max_regress else "ok"
+        failed = failed or status == "FAIL"
+        rows.append((key, base, cur, change, status))
+        print(f"check_perf: {key}: baseline {base:,.0f}, "
+              f"current {cur:,.0f} ({change:+.1%})")
+        if change > args.max_regress:
+            print(f"check_perf: note — {key} is well above baseline; "
+                  "consider refreshing the checked-in JSON")
+
+    if failed:
         print(f"check_perf: FAIL — regression exceeds "
-              f"{args.max_regress:.0%} budget", file=sys.stderr)
+              f"{args.max_regress:.0%} budget\n" + delta_table(rows),
+              file=sys.stderr)
         return 1
-    if change > args.max_regress:
-        print("check_perf: note — current is well above baseline; "
-              "consider refreshing the checked-in JSON")
     print("check_perf: OK")
     return 0
 
