@@ -10,18 +10,21 @@
  * (condition-variable backpressure). Items are typically
  * `std::shared_ptr<const TraceChunk>`, so a push/pop moves a pointer,
  * never the chunk payload.
+ *
+ * All shared state is guarded by one capability (`m_`); the
+ * TEA_GUARDED_BY annotations make Clang's thread-safety analysis prove
+ * every access happens under it (see common/sync.hh).
  */
 
 #ifndef TEA_COMMON_CHUNK_QUEUE_HH
 #define TEA_COMMON_CHUNK_QUEUE_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/sync.hh"
 
 namespace tea {
 
@@ -50,15 +53,14 @@ class BroadcastQueue
      * Append @p item; every consumer will observe it. Blocks while the
      * slowest consumer is @c capacity items behind.
      */
-    void push(T item)
+    void push(T item) TEA_EXCLUDES(m_)
     {
-        std::unique_lock<std::mutex> lk(m_);
+        MutexLock lk(m_);
         tea_assert(!closed_, "push() on a closed BroadcastQueue");
         if (head_ - minCursor() >= capacity_) {
             ++fullWaits_;
-            notFull_.wait(lk, [&] {
-                return head_ - minCursor() < capacity_;
-            });
+            while (head_ - minCursor() >= capacity_)
+                notFull_.wait(m_);
         }
         ring_.push_back(std::move(item));
         ++head_;
@@ -66,9 +68,9 @@ class BroadcastQueue
     }
 
     /** Mark the stream complete; consumers drain and then see EOF. */
-    void close()
+    void close() TEA_EXCLUDES(m_)
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         closed_ = true;
         notEmpty_.notify_all();
     }
@@ -78,16 +80,15 @@ class BroadcastQueue
      * available. @return false once the queue is closed and this
      * consumer has seen every item.
      */
-    bool pop(unsigned consumer, T &out)
+    bool pop(unsigned consumer, T &out) TEA_EXCLUDES(m_)
     {
-        std::unique_lock<std::mutex> lk(m_);
+        MutexLock lk(m_);
         tea_assert(consumer < cursors_.size(),
                    "consumer id %u out of range", consumer);
         if (cursors_[consumer] == head_ && !closed_) {
             ++emptyWaits_[consumer];
-            notEmpty_.wait(lk, [&] {
-                return cursors_[consumer] < head_ || closed_;
-            });
+            while (cursors_[consumer] == head_ && !closed_)
+                notEmpty_.wait(m_);
         }
         if (cursors_[consumer] == head_)
             return false; // closed and drained
@@ -103,28 +104,28 @@ class BroadcastQueue
     }
 
     /** Items pushed so far. */
-    std::uint64_t pushed() const
+    std::uint64_t pushed() const TEA_EXCLUDES(m_)
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         return head_;
     }
 
     /** Times the producer blocked on a full window. */
-    std::uint64_t fullWaits() const
+    std::uint64_t fullWaits() const TEA_EXCLUDES(m_)
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         return fullWaits_;
     }
 
     /** Times consumer @p c blocked on an empty queue. */
-    std::uint64_t emptyWaits(unsigned c) const
+    std::uint64_t emptyWaits(unsigned c) const TEA_EXCLUDES(m_)
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         return emptyWaits_.at(c);
     }
 
   private:
-    std::uint64_t minCursor() const
+    std::uint64_t minCursor() const TEA_REQUIRES(m_)
     {
         std::uint64_t m = cursors_[0];
         for (std::uint64_t c : cursors_)
@@ -132,18 +133,20 @@ class BroadcastQueue
         return m;
     }
 
-    mutable std::mutex m_;
-    std::condition_variable notFull_;
-    std::condition_variable notEmpty_;
+    mutable Mutex m_;
+    CondVar notFull_;
+    CondVar notEmpty_;
 
-    std::deque<T> ring_; ///< items [head_ - ring_.size(), head_)
+    /** items [head_ - ring_.size(), head_) */
+    std::deque<T> ring_ TEA_GUARDED_BY(m_);
     const std::size_t capacity_;
-    std::uint64_t head_ = 0; ///< global index of the next push
-    std::vector<std::uint64_t> cursors_;
-    bool closed_ = false;
+    /** global index of the next push */
+    std::uint64_t head_ TEA_GUARDED_BY(m_) = 0;
+    std::vector<std::uint64_t> cursors_ TEA_GUARDED_BY(m_);
+    bool closed_ TEA_GUARDED_BY(m_) = false;
 
-    std::uint64_t fullWaits_ = 0;
-    std::vector<std::uint64_t> emptyWaits_;
+    std::uint64_t fullWaits_ TEA_GUARDED_BY(m_) = 0;
+    std::vector<std::uint64_t> emptyWaits_ TEA_GUARDED_BY(m_);
 };
 
 } // namespace tea

@@ -30,7 +30,7 @@ class Registry
 
     void add(Failpoint *fp)
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         for (const Failpoint *other : points_) {
             if (other->name() == fp->name())
                 tea_panic("duplicate failpoint name '%s'",
@@ -55,13 +55,13 @@ class Registry
 
     std::vector<Failpoint *> all()
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         return points_;
     }
 
     Failpoint *find(const std::string &name)
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         for (Failpoint *fp : points_) {
             if (fp->name() == name)
                 return fp;
@@ -96,7 +96,7 @@ class Registry
                     tea_fatal("TEA_FAILPOINTS: %s: %s", name.c_str(),
                               err.c_str());
             } else {
-                std::lock_guard<std::mutex> lk(mu_);
+                MutexLock lk(mu_);
                 envSpecs_.emplace_back(std::move(name), std::move(spec));
             }
         }
@@ -111,7 +111,7 @@ class Registry
 
     void failOnUnconsumedEnv()
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (!envSpecs_.empty())
             tea_fatal("TEA_FAILPOINTS: unknown failpoint '%s'",
                       envSpecs_.front().first.c_str());
@@ -120,9 +120,10 @@ class Registry
   private:
     Registry() { applyEnv(); }
 
-    std::mutex mu_;
-    std::vector<Failpoint *> points_;
-    std::vector<std::pair<std::string, std::string>> envSpecs_;
+    Mutex mu_;
+    std::vector<Failpoint *> points_ TEA_GUARDED_BY(mu_);
+    std::vector<std::pair<std::string, std::string>>
+        envSpecs_ TEA_GUARDED_BY(mu_);
 };
 
 /** splitmix64 step: the deterministic per-hit draw for prob triggers. */
@@ -146,9 +147,13 @@ Failpoint::Failpoint(const char *name, int default_errno)
 bool
 Failpoint::fire()
 {
+    // relaxed: the gate only decides whether to take the slow path; a
+    // stale read costs at most one extra (or one missed) locked check
+    // right around (re)configuration, and every value the slow path
+    // reads is ordered by the mutex acquire below.
     if (!armed_.load(std::memory_order_relaxed))
         return false;
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++hits_;
     bool fires = false;
     switch (trigger_) {
@@ -176,7 +181,7 @@ Failpoint::fire()
 int
 Failpoint::failErrno() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return errno_ != 0 ? errno_ : defaultErrno_;
 }
 
@@ -190,14 +195,14 @@ Failpoint::raise() const
 std::uint64_t
 Failpoint::hits() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return hits_;
 }
 
 std::uint64_t
 Failpoint::fired() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return fired_;
 }
 
@@ -264,7 +269,7 @@ Failpoint::configure(const std::string &spec, std::string *err)
                     "' (want off|always|nth:<N>|prob:<P>:<seed>)");
     }
 
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     trigger_ = mode;
     nth_ = nth;
     prob_ = prob;
@@ -272,6 +277,8 @@ Failpoint::configure(const std::string &spec, std::string *err)
     errno_ = kind;
     hits_ = 0;
     fired_ = 0;
+    // relaxed: publishes only the fast-path hint; the trigger state it
+    // hints at is handed over by the mutex (see fire()).
     armed_.store(mode != Trigger::Off, std::memory_order_relaxed);
     return true;
 }
@@ -279,7 +286,7 @@ Failpoint::configure(const std::string &spec, std::string *err)
 void
 Failpoint::reset()
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     trigger_ = Trigger::Off;
     nth_ = 0;
     prob_ = 0.0;
@@ -287,6 +294,7 @@ Failpoint::reset()
     errno_ = 0;
     hits_ = 0;
     fired_ = 0;
+    // relaxed: same fast-path-hint contract as configure() above.
     armed_.store(false, std::memory_order_relaxed);
 }
 

@@ -35,10 +35,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace tea {
 
@@ -103,18 +104,23 @@ class Failpoint
   private:
     enum class Trigger : std::uint8_t { Off, Always, Nth, Prob };
 
-    std::string name_;
-    int defaultErrno_;
+    // Immutable after construction: readable without the lock.
+    const std::string name_;
+    const int defaultErrno_;
 
     std::atomic<bool> armed_{false}; ///< fast-path gate, mode below
-    mutable std::mutex mu_;          ///< guards everything below
-    Trigger trigger_ = Trigger::Off;
-    std::uint64_t nth_ = 0;       ///< 1-based hit to fire on (Trigger::Nth)
-    double prob_ = 0.0;           ///< per-hit fire probability
-    std::uint64_t rngState_ = 0;  ///< splitmix64 state for Trigger::Prob
-    int errno_ = 0;               ///< configured kind (0 = default)
-    std::uint64_t hits_ = 0;
-    std::uint64_t fired_ = 0;
+    mutable Mutex mu_;               ///< guards everything below
+    Trigger trigger_ TEA_GUARDED_BY(mu_) = Trigger::Off;
+    /** 1-based hit to fire on (Trigger::Nth) */
+    std::uint64_t nth_ TEA_GUARDED_BY(mu_) = 0;
+    /** per-hit fire probability */
+    double prob_ TEA_GUARDED_BY(mu_) = 0.0;
+    /** splitmix64 state for Trigger::Prob */
+    std::uint64_t rngState_ TEA_GUARDED_BY(mu_) = 0;
+    /** configured kind (0 = default) */
+    int errno_ TEA_GUARDED_BY(mu_) = 0;
+    std::uint64_t hits_ TEA_GUARDED_BY(mu_) = 0;
+    std::uint64_t fired_ TEA_GUARDED_BY(mu_) = 0;
 };
 
 namespace failpoints {

@@ -33,7 +33,7 @@ FileLock::acquire(const std::string &path, unsigned timeout_ms)
     int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
     if (fd < 0) {
         tea_warn("file lock: cannot create '%s' (%s)", path.c_str(),
-                 std::strerror(errno));
+                 errnoString(errno).c_str());
         return false;
     }
 
@@ -45,7 +45,7 @@ FileLock::acquire(const std::string &path, unsigned timeout_ms)
             break;
         if (errno != EWOULDBLOCK && errno != EINTR) {
             tea_warn("file lock: flock('%s') failed (%s)", path.c_str(),
-                     std::strerror(errno));
+                     errnoString(errno).c_str());
             ::close(fd); // tea_lint: allow(unchecked-io)
             return false;
         }

@@ -1,6 +1,7 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstring>
 #include <vector>
 
 namespace tea {
@@ -22,6 +23,33 @@ strprintf(const char *fmt, ...)
     std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
     va_end(args_copy);
     return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+namespace {
+
+// strerror_r has two incompatible signatures (XSI returns int, GNU
+// returns char *); overload on the result type instead of #ifdef'ing
+// feature-test macros. Exactly one overload is used per platform.
+[[maybe_unused]] const char *
+strerrorResult(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "unknown error";
+}
+
+[[maybe_unused]] const char *
+strerrorResult(const char *msg, const char *)
+{
+    return msg != nullptr ? msg : "unknown error";
+}
+
+} // namespace
+
+std::string
+errnoString(int err)
+{
+    char buf[128];
+    buf[0] = '\0';
+    return strerrorResult(::strerror_r(err, buf, sizeof buf), buf);
 }
 
 [[noreturn]] void

@@ -19,6 +19,14 @@ namespace tea {
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Thread-safe strerror: message for @p err via strerror_r into a
+ * private buffer. std::strerror may return a pointer into static
+ * storage, which races when replay workers report I/O errors
+ * concurrently (clang-tidy concurrency-mt-unsafe).
+ */
+std::string errnoString(int err);
+
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void panicImpl(const char *file, int line,

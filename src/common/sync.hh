@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Capability-annotated synchronization primitives.
+ *
+ * Every lock in the tree is a `tea::Mutex`, every guarded member is
+ * annotated `TEA_GUARDED_BY(itslock)`, and every function that assumes
+ * a lock is held says so with `TEA_REQUIRES(itslock)`. Under Clang the
+ * annotations expand to thread-safety-analysis attributes, turning the
+ * locking discipline into a compile-time capability system: a member
+ * read without its lock, a lock released twice, a function called with
+ * the wrong lock held — each is a -Wthread-safety error on every build
+ * (enable with -DTEA_THREAD_SAFETY=ON or the `clang-tsa` preset; see
+ * DESIGN.md, "Compile-time concurrency analysis"). Under any other
+ * compiler the macros expand to nothing and the classes are thin,
+ * zero-overhead wrappers over the std primitives.
+ *
+ * Unlike TSan — which verifies the interleavings one run happens to
+ * execute — the static analysis covers every path in every build, and
+ * the annotations double as checked documentation of which lock guards
+ * what. The two layers are complementary and both gate CI.
+ *
+ * Conventions (enforced by tea_lint's raw-sync rule and tea_check's
+ * guard-missing rule):
+ *  - no raw std::mutex / std::condition_variable / std::lock_guard
+ *    outside this header; use Mutex / CondVar / MutexLock;
+ *  - every mutable member of a class that owns a Mutex carries
+ *    TEA_GUARDED_BY (std::atomic members are the documented exception:
+ *    they synchronize themselves and spell their memory orders);
+ *  - condition-variable waits are explicit `while (!pred) cv.wait(mu)`
+ *    loops, not predicate lambdas — the analysis cannot see through a
+ *    lambda body, a plain loop it checks completely.
+ */
+
+#ifndef TEA_COMMON_SYNC_HH
+#define TEA_COMMON_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------
+// Thread-safety-analysis attribute macros (Clang-only; no-ops
+// elsewhere). The spellings follow the Clang documentation's mutex.h
+// and the convention used by Abseil/Chromium capability systems.
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TEA_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef TEA_TSA_ATTR
+#define TEA_TSA_ATTR(x) // not Clang: annotations compile to nothing
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex type). */
+#define TEA_CAPABILITY(name) TEA_TSA_ATTR(capability(name))
+
+/** Marks an RAII class whose lifetime acquires/releases a capability. */
+#define TEA_SCOPED_CAPABILITY TEA_TSA_ATTR(scoped_lockable)
+
+/** Member may only be read/written while holding @p x. */
+#define TEA_GUARDED_BY(x) TEA_TSA_ATTR(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding @p x. */
+#define TEA_PT_GUARDED_BY(x) TEA_TSA_ATTR(pt_guarded_by(x))
+
+/** Function must be called with the listed capabilities held. */
+#define TEA_REQUIRES(...) TEA_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (its own when empty). */
+#define TEA_ACQUIRE(...) TEA_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities (its own when empty). */
+#define TEA_RELEASE(...) TEA_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when it returns @p result. */
+#define TEA_TRY_ACQUIRE(...) \
+    TEA_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function must be called with the listed capabilities NOT held
+ *  (self-deadlock guard on public methods that lock internally). */
+#define TEA_EXCLUDES(...) TEA_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Assert (runtime-checked elsewhere) that @p x is held here. */
+#define TEA_ASSERT_CAPABILITY(x) TEA_TSA_ATTR(assert_capability(x))
+
+/** Function returns a reference to the capability @p x. */
+#define TEA_RETURN_CAPABILITY(x) TEA_TSA_ATTR(lock_returned(x))
+
+/** Escape hatch: function is exempt from the analysis. Every use must
+ *  carry a comment explaining why the analysis cannot see the truth. */
+#define TEA_NO_THREAD_SAFETY_ANALYSIS \
+    TEA_TSA_ATTR(no_thread_safety_analysis)
+
+namespace tea {
+
+class CondVar;
+
+/**
+ * Mutual-exclusion capability: std::mutex with acquire/release
+ * annotations. Prefer MutexLock for scoped holds; lock()/unlock() are
+ * for the rare split-scope patterns.
+ */
+class TEA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() TEA_ACQUIRE() { m_.lock(); }
+    void unlock() TEA_RELEASE() { m_.unlock(); }
+    bool try_lock() TEA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar; // wait() needs the native handle
+    std::mutex m_;
+};
+
+/**
+ * Scoped capability: acquires the Mutex for the lifetime of the
+ * object. Drop-in for std::lock_guard / std::unique_lock over the
+ * blocks this codebase actually writes (no deferred/timed acquisition).
+ */
+class TEA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) TEA_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() TEA_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable bound to tea::Mutex. wait() is annotated
+ * TEA_REQUIRES(mu): from the analysis's point of view the capability
+ * is held across the wait (the internal unlock/relock is invisible,
+ * exactly as with absl::CondVar), so guarded members may be re-read in
+ * the surrounding `while (!pred)` loop without warnings — and the loop
+ * itself is the spurious-wakeup guard.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release @p mu, sleep, and re-acquire before return.
+     *  Call in a `while (!pred)` loop under MutexLock. */
+    void wait(Mutex &mu) TEA_REQUIRES(mu)
+    {
+        // Adopt the already-held native mutex for the wait protocol,
+        // then release the unique_lock wrapper without unlocking: the
+        // caller's MutexLock still owns the hold.
+        std::unique_lock<std::mutex> native(mu.m_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace tea
+
+#endif // TEA_COMMON_SYNC_HH

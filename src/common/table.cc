@@ -76,6 +76,8 @@ Table::render() const
 void
 Table::print() const
 {
+    // Terminal output, not file I/O: no seams apply.
+    // tea_check: allow(raw-io)
     std::fputs(render().c_str(), stdout);
 }
 

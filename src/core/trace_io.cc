@@ -317,10 +317,13 @@ CompactTraceWriter::CompactTraceWriter(std::string final_path,
     // within one filesystem (atomicity) and concurrent writers of the
     // same entry never clobber each other's partial file.
     static std::atomic<std::uint64_t> unique{0};
-    tmpPath_ = strprintf("%s.%ld.%llu.tmp", finalPath_.c_str(),
-                         static_cast<long>(::getpid()),
-                         static_cast<unsigned long long>(
-                             unique.fetch_add(1)));
+    tmpPath_ = strprintf(
+        "%s.%ld.%llu.tmp", finalPath_.c_str(),
+        static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            // relaxed: only uniqueness of the counter value matters,
+            // not ordering against any other memory.
+            unique.fetch_add(1, std::memory_order_relaxed)));
     // Opening the tmp file can hit transient conditions (EMFILE under
     // a loaded suite, EINTR): retry with backoff before giving up.
     retryTransient(retryPolicy_, retryStats_, [&] {
@@ -336,7 +339,7 @@ CompactTraceWriter::CompactTraceWriter(std::string final_path,
     if (!file_) {
         tea_warn("trace cache: cannot create '%s' (%s); caching of this "
                  "entry disabled",
-                 tmpPath_.c_str(), std::strerror(errno));
+                 tmpPath_.c_str(), errnoString(errno).c_str());
         return;
     }
     // Reserve space for the header and stats snapshot; commit() seals
@@ -452,7 +455,7 @@ CompactTraceWriter::commit(const CoreStats &stats)
     if (!close_ok) {
         tea_warn("trace cache: error closing '%s' (%s); abandoning "
                  "entry",
-                 tmpPath_.c_str(), std::strerror(errno));
+                 tmpPath_.c_str(), errnoString(errno).c_str());
         std::remove(tmpPath_.c_str()); // tea_lint: allow(unchecked-io)
         return false;
     }
@@ -467,7 +470,7 @@ CompactTraceWriter::commit(const CoreStats &stats)
         });
     if (!published) {
         tea_warn("trace cache: cannot publish '%s' (%s)",
-                 finalPath_.c_str(), std::strerror(errno));
+                 finalPath_.c_str(), errnoString(errno).c_str());
         // Publication already failed and was warned about above.
         std::remove(tmpPath_.c_str()); // tea_lint: allow(unchecked-io)
         return false;
@@ -504,7 +507,7 @@ MappedTraceFile::open(const std::string &path,
     if (fd < 0) {
         if (sys_err)
             *sys_err = errno;
-        return reject(strprintf("cannot open: %s", std::strerror(errno)));
+        return reject(strprintf("cannot open: %s", errnoString(errno).c_str()));
     }
     struct ::stat st{};
     if (::fstat(fd, &st) != 0) {
@@ -528,7 +531,7 @@ MappedTraceFile::open(const std::string &path,
     if (map == MAP_FAILED) {
         if (sys_err)
             *sys_err = errno;
-        return reject(strprintf("mmap failed: %s", std::strerror(errno)));
+        return reject(strprintf("mmap failed: %s", errnoString(errno).c_str()));
     }
 
     // Private constructor, so make_unique cannot reach it.

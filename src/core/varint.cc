@@ -356,6 +356,9 @@ bool varintKernelSupported(VarintKernel k)
 
 VarintKernel activeVarintKernel()
 {
+    // relaxed: the slot holds a self-contained enum; whichever kernel a
+    // reader observes is valid, and tests that switch kernels do so on
+    // one thread before dispatching work.
     return kernelSlot().load(std::memory_order_relaxed);
 }
 
@@ -364,6 +367,8 @@ void setVarintKernel(VarintKernel k)
     if (!hostSupports(k))
         tea_fatal("varint: kernel %s unsupported on this host",
                   varintKernelName(k));
+    // relaxed: same contract as activeVarintKernel() above — the enum
+    // is the entire payload, no memory is published alongside it.
     kernelSlot().store(k, std::memory_order_relaxed);
 }
 

@@ -2,7 +2,17 @@
 """Minimal run-clang-tidy: lint every translation unit under a source
 root using the build tree's compile_commands.json, in parallel, failing
 (exit 1) when any file produces diagnostics. Kept dependency-free so the
-`lint` CMake target works with a bare clang-tidy install."""
+`lint` CMake target works with a bare clang-tidy install.
+
+File discovery defers to lint_common (shared with tea_lint/tea_check):
+compile_commands entries are intersected with the lintable file set, so
+build-tree TUs and anything excluded there never get tidied here.
+
+`--header-checks` runs a second clang-tidy pass per TU with only the
+named checks enabled, keeping diagnostics located in header files.
+.clang-tidy cannot scope a check to headers; this is where the
+"misc-const-correctness, headers only" policy is implemented.
+"""
 
 from __future__ import annotations
 
@@ -10,9 +20,30 @@ import argparse
 import concurrent.futures as futures
 import json
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_common import iter_source_files  # noqa: E402
+
+DIAG_RE = re.compile(r"^(/[^:]+):\d+:\d+: (?:warning|error): ")
+
+
+def header_diags(output: str, root: str) -> str:
+    """Keep only diagnostic blocks whose location is a header under
+    `root` (a block is the diagnostic line plus its context lines)."""
+    kept: list[str] = []
+    keeping = False
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            loc = m.group(1)
+            keeping = loc.endswith(".hh") and loc.startswith(root)
+        if keeping:
+            kept.append(line)
+    return "\n".join(kept)
 
 
 def main() -> int:
@@ -23,6 +54,10 @@ def main() -> int:
                     help="build dir containing compile_commands.json")
     ap.add_argument("--source-root", required=True, type=Path,
                     help="only lint files under this directory")
+    ap.add_argument("--header-checks", default="misc-const-correctness",
+                    help="comma-separated checks run in a second pass "
+                         "whose diagnostics are kept only when located "
+                         "in .hh files (empty disables the pass)")
     ap.add_argument("-j", dest="jobs", type=int,
                     default=os.cpu_count() or 1)
     args = ap.parse_args()
@@ -34,10 +69,11 @@ def main() -> int:
         return 2
 
     root = args.source_root.resolve()
+    repo = root.parent if root.name == "src" else root
+    lintable = {str(p) for p in iter_source_files(repo)}
     files = sorted({str(Path(e["file"]).resolve())
                     for e in json.loads(db.read_text())
-                    if str(Path(e["file"]).resolve()).startswith(
-                        str(root))})
+                    if str(Path(e["file"]).resolve()) in lintable})
     if not files:
         print(f"lint: no translation units under {root}",
               file=sys.stderr)
@@ -48,7 +84,22 @@ def main() -> int:
             [args.clang_tidy, "-p", str(args.build_dir),
              "--quiet", "--warnings-as-errors=*", path],
             capture_output=True, text=True)
-        return path, r.returncode, (r.stdout + r.stderr).strip()
+        output = (r.stdout + r.stderr).strip()
+        code = r.returncode
+        if args.header_checks:
+            # Second pass: header-scoped checks. clang-tidy only sees
+            # headers through a TU, so run per-TU with header filtering
+            # wide open and keep diagnostics that land in .hh files.
+            h = subprocess.run(
+                [args.clang_tidy, "-p", str(args.build_dir),
+                 "--quiet", f"--checks=-*,{args.header_checks}",
+                 "--header-filter=.*", path],
+                capture_output=True, text=True)
+            diags = header_diags(h.stdout + h.stderr, str(repo))
+            if diags:
+                code = code or 1
+                output = (output + "\n" + diags).strip()
+        return path, code, output
 
     failures = 0
     with futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:

@@ -1,0 +1,399 @@
+#!/usr/bin/env python3
+"""tea_check: semantic lint rules via libclang.
+
+Three rules regex fundamentally cannot express — each needs to know
+what a call resolves to, what a member's type is, or whether a class
+owns a lock:
+
+  raw-io         Direct low-level I/O calls (::open/::write/::rename/
+                 ::fsync/fopen/fwrite/...) anywhere in src/ outside the
+                 checked wrappers (core/trace_io.cc, common/file_lock.cc)
+                 bypass the failpoint and retry seams those wrappers
+                 exist to provide. Suppress a deliberate direct call
+                 with `tea_check: allow(raw-io)` and say why.
+
+  naked-order    std::atomic loads/stores/RMWs in src/core/ and
+                 src/analysis/ must spell their memory order — an
+                 implicit seq_cst is indistinguishable from an
+                 unconsidered one. Atomic operators (++, +=, implicit
+                 conversion) cannot spell an order and are always
+                 flagged. A `memory_order_relaxed` must carry a
+                 justification comment containing "relaxed" within the
+                 4 lines above (or on the line). Suppress with
+                 `tea_check: allow(naked-order)`.
+
+  guard-missing  Every mutable member of a class that owns a tea::Mutex
+                 must be annotated TEA_GUARDED_BY — an unannotated
+                 member is invisible to Clang's thread-safety analysis,
+                 which silently accepts unlocked access to it.
+                 Exemptions: const members, std::atomic members (they
+                 synchronize themselves; naked-order makes them spell
+                 their orders), Mutex/CondVar members, and
+                 `tea_check: allow(guard-missing)`.
+
+The allow() convention matches tea_lint: `tea_check: allow(<rule>)` on
+the flagged line or up to 2 lines above.
+
+libclang is an optional dependency: when the python bindings or the
+shared library are missing the checker prints a SKIP notice and exits
+77 (the ctest skip code), so local GCC-only environments stay green
+while CI — which installs libclang — enforces the rules.
+
+Exit status: 0 clean, 1 violations, 2 usage error, 77 libclang missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_common import iter_source_files  # noqa: E402
+
+SKIP = 77
+
+#: Files allowed to make raw I/O calls: the wrappers that put the
+#: failpoint/retry seams around every syscall.
+RAW_IO_WRAPPERS = {
+    Path("src/core/trace_io.cc"),
+    Path("src/common/file_lock.cc"),
+}
+
+#: Free functions the raw-io rule watches for. Methods named e.g.
+#: `close` never match: the rule checks the *referenced declaration*
+#: (a C function at translation-unit scope), not the spelling.
+RAW_IO_FUNCTIONS = {
+    # POSIX fd layer
+    "open", "openat", "creat", "close", "read", "write", "pread",
+    "pwrite", "lseek", "fsync", "fdatasync", "ftruncate", "truncate",
+    "rename", "renameat", "unlink", "unlinkat", "remove", "mkdir",
+    "mkdirat", "rmdir", "stat", "lstat", "fstat", "statx", "mmap",
+    "munmap", "msync", "flock", "fcntl",
+    # stdio layer
+    "fopen", "freopen", "fclose", "fread", "fwrite", "fflush", "fseek",
+    "fputs", "fputc", "fgets", "fgetc",
+}
+
+#: Atomic member functions that take a trailing std::memory_order.
+ATOMIC_ORDERED_METHODS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "wait", "test_and_set", "clear", "test",
+}
+
+#: Directories (relative to the scanned root) naked-order applies to.
+NAKED_ORDER_DIRS = ("src/core", "src/analysis")
+
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order_(\w+)|memory_order::(\w+)")
+
+
+def load_libclang(libclang_path: str | None):
+    """Import clang.cindex and materialize an Index, probing common
+    library locations. Returns (cindex_module, Index) or raises."""
+    import clang.cindex as cindex  # noqa: PLC0415
+
+    if libclang_path:
+        cindex.Config.set_library_file(libclang_path)
+        return cindex, cindex.Index.create()
+    try:
+        return cindex, cindex.Index.create()
+    except cindex.LibclangError:
+        pass
+    # The bindings could not find the library by soname; probe the
+    # usual distro install locations (Config.loaded is still False
+    # after a failed create, so set_library_file may be retried).
+    candidates: list[str] = []
+    for pattern in ("/usr/lib/llvm-*/lib/libclang.so*",
+                    "/usr/lib/*/libclang-*.so*",
+                    "/usr/lib/*/libclang.so*",
+                    "/usr/local/lib/libclang.so*"):
+        candidates.extend(sorted(glob.glob(pattern), reverse=True))
+    for cand in candidates:
+        try:
+            cindex.Config.set_library_file(cand)
+            return cindex, cindex.Index.create()
+        except Exception:
+            continue
+    raise OSError("no usable libclang shared library found")
+
+
+def allows(raw_lines: list[str], lineno: int, tag: str,
+           lookback: int = 2) -> bool:
+    """tea_lint-style allowlist: `tea_check: allow(<tag>)` on 1-based
+    line `lineno` or up to `lookback` lines above."""
+    needle = f"tea_check: allow({tag})"
+    lo = max(0, lineno - 1 - lookback)
+    return any(needle in raw_lines[k] for k in range(lo, lineno))
+
+
+class Checker:
+    def __init__(self, cindex, index, root: Path, include_dirs):
+        self.ci = cindex
+        self.index = index
+        self.root = root
+        self.include_dirs = list(include_dirs)
+        self.violations: list[str] = []
+        self.files_checked = 0
+
+    def violate(self, path: Path, lineno: int, rule: str, msg: str):
+        rel = path.relative_to(self.root) if path.is_relative_to(
+            self.root) else path
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    # --- parsing ---------------------------------------------------------
+
+    def parse(self, path: Path):
+        args = ["-x", "c++", "-std=c++20"]
+        for inc in self.include_dirs:
+            args += ["-I", str(inc)]
+        # Incomplete ASTs are fine: an unresolved include leaves the
+        # surrounding declarations intact, and every rule keys on
+        # resolved references only.
+        return self.index.parse(
+            str(path), args=args,
+            options=self.ci.TranslationUnit
+            .PARSE_DETAILED_PROCESSING_RECORD)
+
+    def local_cursors(self, tu, path: Path):
+        """All cursors whose location is in `path` itself (not in an
+        included file)."""
+        want = str(path)
+        for cur in tu.cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is not None and loc.file.name == want:
+                yield cur
+
+    @staticmethod
+    def extent_text(raw_lines: list[str], cur) -> str:
+        """Raw source text of a cursor's extent (inclusive lines)."""
+        start, end = cur.extent.start, cur.extent.end
+        if start.line == 0 or end.line == 0:
+            return ""
+        lines = raw_lines[start.line - 1:end.line]
+        if not lines:
+            return ""
+        if len(lines) == 1:
+            return lines[0][start.column - 1:end.column - 1]
+        lines = lines[:]
+        lines[0] = lines[0][start.column - 1:]
+        lines[-1] = lines[-1][:end.column - 1]
+        return "\n".join(lines)
+
+    # --- rule: raw-io ----------------------------------------------------
+
+    def is_raw_io_exempt(self, path: Path) -> bool:
+        rel = path.relative_to(self.root) if path.is_relative_to(
+            self.root) else path
+        return rel in RAW_IO_WRAPPERS
+
+    def check_raw_io(self, path: Path, cursors, raw_lines: list[str]):
+        K = self.ci.CursorKind
+        for cur in cursors:
+            if cur.kind != K.CALL_EXPR:
+                continue
+            ref = cur.referenced
+            if ref is None or ref.spelling not in RAW_IO_FUNCTIONS:
+                continue
+            if ref.kind != K.FUNCTION_DECL:
+                continue  # methods named read()/close() are fine
+            parent = ref.semantic_parent
+            if parent is not None and parent.kind not in (
+                    K.TRANSLATION_UNIT, K.LINKAGE_SPEC, K.NAMESPACE):
+                continue
+            if (parent is not None and parent.kind == K.NAMESPACE
+                    and parent.spelling != "std"):
+                continue  # some project namespace's free function
+            lineno = cur.location.line
+            if allows(raw_lines, lineno, "raw-io"):
+                continue
+            self.violate(
+                path, lineno, "raw-io",
+                f"direct {ref.spelling}() bypasses the failpoint/retry "
+                "seams in core/trace_io.cc / common/file_lock.cc; "
+                "route through a wrapper or annotate "
+                "`tea_check: allow(raw-io)` with a reason")
+
+    # --- rule: naked-order -----------------------------------------------
+
+    def in_naked_order_scope(self, path: Path) -> bool:
+        rel = path.relative_to(self.root) if path.is_relative_to(
+            self.root) else path
+        return any(str(rel).startswith(d + "/")
+                   for d in NAKED_ORDER_DIRS)
+
+    def check_naked_order(self, path: Path, cursors,
+                          raw_lines: list[str]):
+        K = self.ci.CursorKind
+        for cur in cursors:
+            if cur.kind != K.CALL_EXPR:
+                continue
+            ref = cur.referenced
+            if ref is None:
+                continue
+            if ref.kind not in (K.CXX_METHOD, K.CONVERSION_FUNCTION):
+                continue
+            parent = ref.semantic_parent
+            if parent is None or "atomic" not in parent.spelling:
+                continue
+            name = ref.spelling
+            lineno = cur.location.line
+            if allows(raw_lines, lineno, "naked-order"):
+                continue
+            if name.startswith("operator") or \
+                    ref.kind == K.CONVERSION_FUNCTION:
+                self.violate(
+                    path, lineno, "naked-order",
+                    f"atomic {name} cannot spell a memory order "
+                    "(it is always seq_cst): use explicit "
+                    "load/store/fetch_* with an order")
+                continue
+            if name not in ATOMIC_ORDERED_METHODS:
+                continue
+            text = self.extent_text(raw_lines, cur)
+            m = MEMORY_ORDER_RE.search(text)
+            if not m:
+                self.violate(
+                    path, lineno, "naked-order",
+                    f"atomic {name}() with implicit seq_cst: spell "
+                    "the memory order (std::memory_order_seq_cst when "
+                    "sequential consistency is really required)")
+                continue
+            order = m.group(1) or m.group(2)
+            if order in ("relaxed", "acquire", "release", "acq_rel"):
+                # A downgrade needs a justification comment nearby.
+                lo = max(0, lineno - 1 - 4)
+                span = raw_lines[lo:cur.extent.end.line]
+                # Only text after "//" counts: the flagged call's own
+                # memory_order_<x> token must not satisfy the check.
+                if not any("//" in l and order in l.split("//", 1)[1]
+                           for l in span):
+                    self.violate(
+                        path, lineno, "naked-order",
+                        f"memory_order_{order} without a nearby "
+                        f"justification comment mentioning "
+                        f"\"{order}\": say why the weaker order is "
+                        "safe")
+
+    # --- rule: guard-missing ---------------------------------------------
+
+    MUTEX_TYPES = ("tea::Mutex", "Mutex")
+    SELF_SYNC_TYPES = ("Mutex", "CondVar", "MutexLock")
+
+    @classmethod
+    def is_mutex_field(cls, field) -> bool:
+        spelling = field.type.spelling
+        if "&" in spelling or "*" in spelling:
+            return False  # a borrowed lock is not ownership
+        base = spelling.replace("const ", "").strip()
+        return base in cls.MUTEX_TYPES or base.endswith("::Mutex")
+
+    @classmethod
+    def is_self_synchronizing(cls, field) -> bool:
+        spelling = field.type.spelling
+        if "atomic" in spelling:
+            return True
+        base = spelling.split("<")[0].replace("const ", "").strip()
+        short = base.rsplit("::", 1)[-1]
+        return short in cls.SELF_SYNC_TYPES
+
+    def check_guard_missing(self, path: Path, cursors,
+                            raw_lines: list[str]):
+        K = self.ci.CursorKind
+        class_kinds = (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE)
+        for cur in cursors:
+            if cur.kind not in class_kinds or not cur.is_definition():
+                continue
+            fields = [c for c in cur.get_children()
+                      if c.kind == K.FIELD_DECL]
+            if not any(self.is_mutex_field(f) for f in fields):
+                continue
+            for f in fields:
+                if self.is_mutex_field(f) or \
+                        self.is_self_synchronizing(f):
+                    continue
+                if f.type.is_const_qualified():
+                    continue
+                text = self.extent_text(raw_lines, f)
+                if "TEA_GUARDED_BY" in text or \
+                        "TEA_PT_GUARDED_BY" in text:
+                    continue
+                lineno = f.location.line
+                if allows(raw_lines, lineno, "guard-missing"):
+                    continue
+                self.violate(
+                    path, lineno, "guard-missing",
+                    f"member `{f.spelling}` of lock-owning class "
+                    f"`{cur.spelling}` has no TEA_GUARDED_BY: the "
+                    "thread-safety analysis cannot protect an "
+                    "unannotated member (mark it const, make it "
+                    "atomic with spelled orders, or annotate "
+                    "`tea_check: allow(guard-missing)` with a reason)")
+
+    # --- driver ----------------------------------------------------------
+
+    def run(self, files: list[Path]) -> int:
+        for path in files:
+            self.files_checked += 1
+            raw_lines = path.read_text().splitlines()
+            tu = self.parse(path)
+            cursors = list(self.local_cursors(tu, path))
+            if not self.is_raw_io_exempt(path):
+                self.check_raw_io(path, cursors, raw_lines)
+            if self.in_naked_order_scope(path):
+                self.check_naked_order(path, cursors, raw_lines)
+            self.check_guard_missing(path, cursors, raw_lines)
+
+        if self.violations:
+            for v in sorted(self.violations):
+                print(v)
+            print(f"tea_check: FAIL ({len(self.violations)} "
+                  f"violation(s) in {self.files_checked} files)")
+            return 1
+        print(f"tea_check: PASS ({self.files_checked} files, 3 rules)")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="tree to scan (contains src/)")
+    ap.add_argument("-I", dest="include_dirs", action="append",
+                    default=[], type=Path,
+                    help="extra include dir (repeatable); the scanned "
+                         "root's src/ is always included")
+    ap.add_argument("--libclang", default=None,
+                    help="explicit path to libclang.so")
+    ap.add_argument("files", nargs="*", type=Path,
+                    help="specific files to check (default: every "
+                         "source file under --root)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"tea_check: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    try:
+        cindex, index = load_libclang(args.libclang)
+    except ImportError as e:
+        print(f"tea_check: SKIP (python clang bindings missing: {e})")
+        return SKIP
+    except Exception as e:  # LibclangError, OSError
+        print(f"tea_check: SKIP (libclang unavailable: {e})")
+        return SKIP
+
+    include_dirs = [root / "src"] + [p.resolve()
+                                     for p in args.include_dirs]
+    files = [p.resolve() for p in args.files] or \
+        iter_source_files(root)
+    checker = Checker(cindex, index, root, include_dirs)
+    return checker.run(files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

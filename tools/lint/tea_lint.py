@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """tea_lint: project-specific static rules for the TEA tree.
 
-Six rules, each enforcing an invariant the compiler cannot:
+Seven rules, each enforcing an invariant the compiler cannot:
 
   naked-new          No naked `new` / `malloc`-family allocation in src/
                      outside allocator shims: ownership must be typed
@@ -39,6 +39,15 @@ Six rules, each enforcing an invariant the compiler cannot:
                      spawn site with `tea_lint: allow(unguarded-worker)`
                      and say why in a comment.
 
+  raw-sync           No raw `std::mutex` / `std::condition_variable` /
+                     `std::lock_guard` / `std::unique_lock` /
+                     `std::scoped_lock` in src/ outside
+                     common/sync.hh: use tea::Mutex / tea::CondVar /
+                     tea::MutexLock so Clang's thread-safety analysis
+                     sees every lock (see DESIGN.md, "Compile-time
+                     concurrency analysis"). Suppress with
+                     `tea_lint: allow(raw-sync)`.
+
   hot-alloc          Inside functions annotated `// tea_lint: hot` in
                      src/core/ and src/profilers/, no heap allocation
                      may occur: no new/make_unique/make_shared/malloc,
@@ -61,7 +70,8 @@ import re
 import sys
 from pathlib import Path
 
-SRC_SUFFIXES = {".cc", ".hh"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lint_common import iter_source_files  # noqa: E402
 
 IO_CALLS = ("fwrite", "fflush", "fseek", "fclose", "fsync", "rename",
             "remove", "fputs", "fputc")
@@ -328,6 +338,27 @@ class Linter:
                     return stripped[start:i + 1]
         return None
 
+    # --- rule: raw-sync ---------------------------------------------------
+
+    RAW_SYNC_RE = re.compile(
+        r"\bstd::(mutex|condition_variable(?:_any)?|lock_guard|"
+        r"unique_lock|scoped_lock|shared_mutex|shared_lock)\b")
+
+    def check_raw_sync(self, path: Path, stripped: str,
+                       raw_lines: list[str]):
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            m = self.RAW_SYNC_RE.search(line)
+            if not m:
+                continue
+            if allows(raw_lines, lineno, "raw-sync"):
+                continue
+            self.violate(path, lineno, "raw-sync",
+                         f"raw `std::{m.group(1)}`: use tea::Mutex/"
+                         "CondVar/MutexLock from common/sync.hh so the "
+                         "thread-safety analysis sees the lock "
+                         "(annotate `tea_lint: allow(raw-sync)` when "
+                         "the std type is genuinely required)")
+
     # --- rule: hot-alloc --------------------------------------------------
 
     HOT_NEW_RE = re.compile(
@@ -396,7 +427,6 @@ class Linter:
     # --- driver ----------------------------------------------------------
 
     def run(self) -> int:
-        src = self.root / "src"
         members = {e: self.parse_enum_members(self.root / h, e)
                    for e, h in ENUMS.items()}
         for enum, names in members.items():
@@ -409,9 +439,7 @@ class Linter:
         else:
             self.violate(self.root, 1, "codec-version-lock",
                          "src/core/trace_codec.cc is missing")
-        for path in sorted(src.rglob("*")):
-            if path.suffix not in SRC_SUFFIXES:
-                continue
+        for path in iter_source_files(self.root):
             self.files_checked += 1
             raw = path.read_text()
             raw_lines = raw.splitlines()
@@ -421,6 +449,8 @@ class Linter:
                 self.check_unchecked_io(path, stripped, raw_lines)
             self.check_enum_switches(path, stripped, raw_lines, members)
             self.check_worker_guards(path, stripped, raw_lines)
+            if path.name != "sync.hh":
+                self.check_raw_sync(path, stripped, raw_lines)
             if path.parent.name in ("core", "profilers"):
                 self.check_hot_alloc(path, stripped, raw_lines)
 
@@ -430,7 +460,7 @@ class Linter:
             print(f"tea_lint: FAIL ({len(self.violations)} violation(s) "
                   f"in {self.files_checked} files)")
             return 1
-        print(f"tea_lint: PASS ({self.files_checked} files, 6 rules)")
+        print(f"tea_lint: PASS ({self.files_checked} files, 7 rules)")
         return 0
 
 
