@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "analysis/audit.hh"
+#include "analysis/cache_janitor.hh"
 #include "analysis/trace_cache.hh"
 #include "common/chunk_queue.hh"
 #include "common/failpoint.hh"
@@ -222,6 +223,7 @@ RunnerOptions::fromEnv()
     tea_assert(opts.queueChunks >= 1, "TEA_QUEUE_CHUNKS must be >= 1");
     opts.audit = static_cast<unsigned>(envCount("TEA_AUDIT", 0));
     opts.cache = TraceCacheOptions::fromEnv();
+    opts.janitor = JanitorConfig::fromEnv();
     opts.cacheLockTimeoutMs = static_cast<unsigned>(envCount(
         "TEA_CACHE_LOCK_TIMEOUT_MS", opts.cacheLockTimeoutMs));
     auto dthreads = static_cast<unsigned>(
@@ -409,6 +411,15 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
     CacheOpStats cacheOps;
     FileLock storeLock;
     if (cache.enabled()) {
+        // First access in this process: reclaim crash debris (orphaned
+        // tmp files, stale locks, aged quarantine) left by previous
+        // runs before stacking new work on top of it.
+        const JanitorStats recovered = CacheJanitor::recoverOnce(
+            cache.options().dir, opts.janitor);
+        res.replay.janitorRemovals += recovered.removals();
+        res.replay.cacheEvictions += recovered.evictedEntries;
+        res.replay.cacheEvictedBytes += recovered.evictedBytes;
+
         fp = TraceCache::fingerprintOf(workload, cfg);
         entry = cache.entryPath(res.name, fp);
         mapped = cache.openEntry(entry, fp, &cacheOps);
@@ -424,6 +435,7 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
                 // may have published a healthy entry while we waited.
                 mapped = cache.openEntry(entry, fp, &cacheOps);
             } else {
+                ++res.replay.lockDegrades;
                 tea_warn("trace cache: cannot lock %s within %u ms; "
                          "simulating without storing",
                          TraceCache::lockPathFor(entry).c_str(),
@@ -508,8 +520,13 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
         // Only the lock holder stores; a runner that lost the lock race
         // still computes its results, it just leaves no entry behind.
         std::unique_ptr<CompactTraceWriter> writer;
-        if (cache.enabled() && storeLock.held())
+        if (cache.enabled() && storeLock.held()) {
             writer = std::make_unique<CompactTraceWriter>(entry, fp);
+            // Admission control: an entry that alone exceeds the cache
+            // budget would be evicted by the very next janitor pass —
+            // abandon it mid-write instead of finishing it.
+            writer->setByteLimit(opts.janitor.maxBytes);
+        }
 
         Core core(cfg, workload.program, std::move(workload.initial));
         if (opts.threads <= 1) {
@@ -553,10 +570,24 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
         if (writer) {
             res.replay.cacheStored = writer->commit(core.stats());
             res.replay.cacheBytes = writer->bytesWritten();
+            res.replay.cacheAdmissionDenied = writer->admissionDenied();
             res.replay.ioRetries += writer->retryStats().retries;
             res.replay.ioRecoveries += writer->retryStats().recoveries;
         }
         storeLock.release();
+
+        // The store may have pushed the cache past its byte budget:
+        // run a janitor pass (serialized on janitor.lock; skipped when
+        // another process is already at it) to evict the coldest
+        // entries back under it.
+        if (cache.enabled() && opts.janitor.maxBytes > 0 &&
+            res.replay.cacheStored) {
+            const JanitorStats js =
+                CacheJanitor(cache.options().dir, opts.janitor).gc();
+            res.replay.cacheEvictions += js.evictedEntries;
+            res.replay.cacheEvictedBytes += js.evictedBytes;
+            res.replay.janitorRemovals += js.removals();
+        }
     }
     res.replay.ioRetries += cacheOps.retry.retries;
     res.replay.ioRecoveries += cacheOps.retry.recoveries;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cache_janitor.hh"
 #include "analysis/trace_cache.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
@@ -68,6 +69,14 @@ struct RunnerOptions
     TraceCacheOptions cache;
 
     /**
+     * Cache-lifecycle budgets (analysis/cache_janitor): recovery GC on
+     * first cache access, and — when janitor.maxBytes is set — entry
+     * admission control plus a budget-enforcing janitor pass after
+     * every store.
+     */
+    JanitorConfig janitor;
+
+    /**
      * How long a cache miss waits for the per-entry advisory write lock
      * (common/file_lock) before degrading to simulate-without-storing.
      * The lock serializes concurrent processes rewriting the same
@@ -99,10 +108,12 @@ struct RunnerOptions
      * Options from the environment: TEA_THREADS (default 1),
      * TEA_CHUNK_EVENTS, TEA_QUEUE_CHUNKS, TEA_AUDIT (default 0, see
      * audit above), TEA_CACHE_LOCK_TIMEOUT_MS, TEA_DECODE_THREADS and
-     * TEA_BATCH_FRAMES (see decodeThreads/batchFrames above), and the
+     * TEA_BATCH_FRAMES (see decodeThreads/batchFrames above), the
      * trace-cache controls TEA_TRACE_CACHE / TEA_TRACE_CACHE_DIR (see
-     * TraceCacheOptions). TEA_THREADS=0 and TEA_DECODE_THREADS=0 mean
-     * "one worker per hardware thread".
+     * TraceCacheOptions), and the janitor budgets
+     * TEA_TRACE_CACHE_MAX_BYTES etc. (see JanitorConfig::fromEnv).
+     * TEA_THREADS=0 and TEA_DECODE_THREADS=0 mean "one worker per
+     * hardware thread".
      */
     static RunnerOptions fromEnv();
 };

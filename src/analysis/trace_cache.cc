@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -26,6 +27,7 @@ Failpoint fpCacheMkdir("trace_cache.mkdir", EACCES);
 Failpoint fpCacheStat("trace_cache.stat", EIO);
 Failpoint fpFingerprint("trace_cache.fingerprint", 0);
 Failpoint fpQuarantine("trace_cache.quarantine", EACCES);
+Failpoint fpCacheTouch("trace_cache.touch", EACCES);
 
 std::string
 defaultCacheDir()
@@ -207,8 +209,23 @@ TraceCache::openEntry(const std::string &path, std::uint64_t fp,
         }
         return true; // mapped, or a validation verdict retry can't fix
     });
-    if (mapped != nullptr)
+    if (mapped != nullptr) {
+        // Bump the entry's mtime so it records last *use*, not last
+        // write: the janitor's size-budget eviction walks entries in
+        // mtime order, and a hot entry that never gets rewritten must
+        // not look like the coldest one. Best effort — a cache hit is
+        // already in hand and a failed touch only skews eviction order.
+        // tea_check: allow(raw-io)
+        int touch_rc = ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+        if (touch_rc == 0 && TEA_FAILPOINT(fpCacheTouch)) {
+            errno = fpCacheTouch.failErrno();
+            touch_rc = -1;
+        }
+        if (touch_rc != 0)
+            tea_warn("trace cache: cannot bump last-use time of %s (%s)",
+                     path.c_str(), errnoString(errno).c_str());
         return mapped;
+    }
 
     if (sys_err != 0) {
         // Syscall failure that survived the retries: degrade to a miss.
@@ -252,6 +269,26 @@ TraceCache::quarantineEntry(const std::string &path,
                   seq.fetch_add(1, std::memory_order_relaxed));
 
     bool moved = makeDirs(quarantineDir());
+
+    // Write the .reason note *before* moving the entry: a crash between
+    // the two steps then leaves a reason with no entry (harmless, aged
+    // out by the janitor) instead of a quarantined entry with no
+    // explanation. Diagnostic convenience, best effort, no seams.
+    const std::string reason_path = dest + ".reason";
+    if (moved) {
+        // tea_check: allow(raw-io)
+        if (std::FILE *f = std::fopen(reason_path.c_str(), "w");
+            f != nullptr) {
+            // tea_check: allow(raw-io)
+            std::fputs(reason.c_str(),
+                       f); // tea_lint: allow(unchecked-io)
+            // tea_check: allow(raw-io)
+            std::fputc('\n', f); // tea_lint: allow(unchecked-io)
+            // tea_lint: allow(unchecked-io) tea_check: allow(raw-io)
+            std::fclose(f);
+        }
+    }
+
     if (moved && TEA_FAILPOINT(fpQuarantine)) {
         errno = fpQuarantine.failErrno();
         moved = false;
@@ -265,22 +302,14 @@ TraceCache::quarantineEntry(const std::string &path,
                  "instead",
                  path.c_str(), errnoString(errno).c_str());
         // Last resort: a damaged entry must never be reopened as if it
-        // were healthy. Failure here means it is already gone.
+        // were healthy. Failure here means it is already gone. The
+        // freshly written reason note describes nothing now — take it
+        // with us rather than leave an orphan.
         // tea_check: allow(raw-io)
         std::remove(path.c_str()); // tea_lint: allow(unchecked-io)
-        return false;
-    }
-
-    // The .reason file is diagnostic convenience, not a correctness
-    // dependency: best effort, no seams needed.
-    // tea_check: allow(raw-io)
-    if (std::FILE *f = std::fopen((dest + ".reason").c_str(), "w");
-        f != nullptr) {
         // tea_check: allow(raw-io)
-        std::fputs(reason.c_str(), f); // tea_lint: allow(unchecked-io)
-        std::fputc('\n', f);           // tea_lint: allow(unchecked-io)
-        // tea_lint: allow(unchecked-io) tea_check: allow(raw-io)
-        std::fclose(f);
+        std::remove(reason_path.c_str()); // tea_lint: allow(unchecked-io)
+        return false;
     }
     return true;
 }

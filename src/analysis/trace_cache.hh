@@ -69,6 +69,9 @@ class TraceCache
 
     bool enabled() const { return opts_.enabled; }
 
+    /** The options this cache was built with (dir for the janitor). */
+    const TraceCacheOptions &options() const { return opts_; }
+
     /**
      * Content fingerprint of a (workload, config) pair under the
      * current codec version.
@@ -86,6 +89,9 @@ class TraceCache
      * backoff; a *damaged* entry (as opposed to a simply absent one)
      * logs a warning naming the reason, is quarantined out of the
      * cache, and @p ops->damaged is set so the caller can rewrite it.
+     * A successful open bumps the entry's mtime (best effort), which
+     * is the last-use order the janitor's size-budget eviction walks
+     * (analysis/cache_janitor).
      */
     std::unique_ptr<MappedTraceFile> openEntry(const std::string &path,
                                                std::uint64_t fp,
@@ -102,8 +108,12 @@ class TraceCache
      * Move the damaged entry at @p path into <dir>/quarantine/ under a
      * unique name, next to a .reason file recording @p reason, so it
      * can be inspected later but can never be opened as a cache entry
-     * again. Falls back to unlinking the entry when the quarantine
-     * directory cannot be used. @return true when the entry was moved
+     * again. Falls back to unlinking the entry (and removing the
+     * already-written .reason note) when the quarantine move itself
+     * fails. Quarantine space is reclaimed by janitor passes
+     * (analysis/cache_janitor): entries age out and the directory is
+     * capped by count, so repeated damage can never grow it without
+     * bound. @return true when the entry was moved
      */
     bool quarantineEntry(const std::string &path,
                          const std::string &reason) const;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 
 namespace tea {
@@ -173,8 +175,17 @@ Failpoint::fire()
         break;
       }
     }
-    if (fires)
+    if (fires) {
         ++fired_;
+        if (crash_) {
+            // The `crash` kind: die at the seam the way a SIGKILL (or a
+            // power cut, as far as this process can model one) would —
+            // no unwind, no destructors, no atexit handlers, no stdio
+            // flush. Whatever state is on disk right now is what the
+            // next process finds.
+            ::_exit(failpoints::crashExitCode);
+        }
+    }
     return fires;
 }
 
@@ -217,6 +228,7 @@ Failpoint::configure(const std::string &spec, std::string *err)
 
     std::string trigger = spec;
     int kind = 0;
+    bool crash = false;
     if (std::size_t at = spec.rfind('@'); at != std::string::npos) {
         std::string kind_name = spec.substr(at + 1);
         trigger = spec.substr(0, at);
@@ -226,9 +238,11 @@ Failpoint::configure(const std::string &spec, std::string *err)
             kind = ENOSPC;
         else if (kind_name == "eagain")
             kind = EAGAIN;
+        else if (kind_name == "crash")
+            crash = true;
         else
             return fail("unknown kind '" + kind_name +
-                        "' (want eio|enospc|eagain)");
+                        "' (want eio|enospc|eagain|crash)");
     }
 
     Trigger mode = Trigger::Off;
@@ -271,6 +285,7 @@ Failpoint::configure(const std::string &spec, std::string *err)
 
     MutexLock lk(mu_);
     trigger_ = mode;
+    crash_ = crash;
     nth_ = nth;
     prob_ = prob;
     rngState_ = seed;
@@ -288,6 +303,7 @@ Failpoint::reset()
 {
     MutexLock lk(mu_);
     trigger_ = Trigger::Off;
+    crash_ = false;
     nth_ = 0;
     prob_ = 0.0;
     rngState_ = 0;

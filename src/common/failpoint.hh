@@ -22,12 +22,22 @@
  *
  *   TEA_FAILPOINTS=<name>=<trigger>[@<kind>][,<name>=<trigger>...]
  *   trigger := off | always | nth:<N> | prob:<P>:<seed>
- *   kind    := eio | enospc | eagain   (default: the seam's own kind)
+ *   kind    := eio | enospc | eagain | crash
+ *              (default: the seam's own errno kind)
  *
- * The kind selects the errno a fired I/O seam simulates, which in turn
- * decides whether the self-healing layer treats the failure as
+ * The errno kinds select the errno a fired I/O seam simulates, which in
+ * turn decides whether the self-healing layer treats the failure as
  * transient (retried with backoff) or permanent (degrade/contain) —
  * see common/retry.hh.
+ *
+ * The `crash` kind is different: a fired hit terminates the process on
+ * the spot via _exit(failpoints::crashExitCode) — no unwind, no
+ * destructors, no atexit — simulating the process being killed at
+ * exactly that seam. The crash-consistency harness
+ * (tests/test_crash_matrix.cc) forks a child per registered seam,
+ * arms `always@crash`, and verifies in the parent that whatever the
+ * dead child left on disk is either valid or transparently healed
+ * (DESIGN.md, "Cache lifecycle and crash consistency").
  */
 
 #ifndef TEA_COMMON_FAILPOINT_HH
@@ -76,6 +86,8 @@ class Failpoint
      * Count this hit and decide whether the failure fires. Off (the
      * default) is one relaxed atomic load. Prefer the TEA_FAILPOINT()
      * macro, which compiles to `false` when injection is disabled.
+     * A seam armed with the `crash` kind does not return when it
+     * fires: the process _exits at the seam (see the file comment).
      */
     bool fire();
 
@@ -111,6 +123,8 @@ class Failpoint
     std::atomic<bool> armed_{false}; ///< fast-path gate, mode below
     mutable Mutex mu_;               ///< guards everything below
     Trigger trigger_ TEA_GUARDED_BY(mu_) = Trigger::Off;
+    /** fired hits _exit the process (the `crash` kind) */
+    bool crash_ TEA_GUARDED_BY(mu_) = false;
     /** 1-based hit to fire on (Trigger::Nth) */
     std::uint64_t nth_ TEA_GUARDED_BY(mu_) = 0;
     /** per-hit fire probability */
@@ -124,6 +138,14 @@ class Failpoint
 };
 
 namespace failpoints {
+
+/**
+ * Exit status a fired `crash`-kind seam terminates the process with.
+ * Distinctive on purpose: the fork-based crash harness asserts the
+ * child died at the armed seam (this code) rather than cleanly (0) or
+ * through an ordinary fatal path.
+ */
+constexpr int crashExitCode = 86;
 
 /** Every registered failpoint, in registration order. */
 std::vector<Failpoint *> all();

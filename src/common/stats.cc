@@ -174,6 +174,17 @@ ReplayStats::render() const
             static_cast<unsigned long long>(quarantined),
             workerFailures, degradedExperiments);
     }
+    if (cacheEvictions || janitorRemovals || lockDegrades ||
+        cacheAdmissionDenied) {
+        out += strprintf(
+            "  janitor: %llu eviction(s) (%llu byte(s)), %llu debris "
+            "removal(s), %u lock degrade(s)%s\n",
+            static_cast<unsigned long long>(cacheEvictions),
+            static_cast<unsigned long long>(cacheEvictedBytes),
+            static_cast<unsigned long long>(janitorRemovals),
+            lockDegrades,
+            cacheAdmissionDenied ? ", admission denied" : "");
+    }
     if (!parallel())
         return out;
     for (const ReplayWorkerStats &w : workers) {

@@ -150,6 +150,13 @@ struct ReplayStats
     std::uint64_t quarantined = 0;  ///< damaged cache entries quarantined
     unsigned workerFailures = 0;    ///< replay workers that died (contained)
 
+    // Cache-lifecycle counters (see analysis/cache_janitor).
+    std::uint64_t cacheEvictions = 0; ///< entries evicted for the budget
+    std::uint64_t cacheEvictedBytes = 0; ///< bytes those entries held
+    std::uint64_t janitorRemovals = 0; ///< debris files GC'd (tmp/lock/quar)
+    unsigned lockDegrades = 0; ///< store skipped: entry lock contended
+    bool cacheAdmissionDenied = false; ///< entry larger than the budget
+
     /**
      * Number of experiments that failed (with a contained,
      * per-experiment error) in the suite run this experiment was part

@@ -38,6 +38,7 @@ Failpoint fpSeal("trace_io.seal", ENOSPC);
 Failpoint fpFsync("trace_io.fsync", EIO);
 Failpoint fpCacheClose("trace_io.close", EIO);
 Failpoint fpRename("trace_io.rename", EIO);
+Failpoint fpDirFsync("trace_io.dir_fsync", EIO);
 Failpoint fpMapOpen("trace_io.map_open", EIO);
 Failpoint fpMmap("trace_io.mmap", EIO);
 
@@ -307,6 +308,40 @@ headerSelfCrc(const TraceFileHeader &hdr)
                  sizeof(TraceFileHeader) - sizeof(std::uint32_t));
 }
 
+/**
+ * fsync the directory containing @p path. rename() promises atomicity,
+ * not durability: until the directory inode reaches stable storage a
+ * power cut can roll the publish back entirely — fsyncing the payload
+ * alone is not enough (the classic create/rename/fsync-ordering bug).
+ * Transient failures are retried; a permanent one is reported to the
+ * caller, which degrades with a warning — the rename is visible to
+ * every process on this boot regardless.
+ */
+bool
+syncDirOf(const std::string &path, const RetryPolicy &policy,
+          RetryStats &stats)
+{
+    std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".")
+                                   : path.substr(0, slash);
+    return retryTransient(policy, stats, [&] {
+        int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (fd >= 0 && TEA_FAILPOINT(fpDirFsync)) {
+            ::close(fd);
+            fd = -1;
+            errno = fpDirFsync.failErrno();
+        }
+        if (fd < 0)
+            return false;
+        const bool ok = ::fsync(fd) == 0;
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return ok;
+    });
+}
+
 } // namespace
 
 CompactTraceWriter::CompactTraceWriter(std::string final_path,
@@ -394,6 +429,19 @@ CompactTraceWriter::writeChunk(const TraceChunk &chunk)
     eventCount_ += chunk.events.size();
     cycleCount_ += chunk.cycleRecords;
     payloadBytes_ += scratch_.size();
+    if (byteLimit_ != 0 && bytesWritten() > byteLimit_) {
+        // Admission control (cache budget): an entry bigger than the
+        // whole budget would be evicted by the very next janitor pass,
+        // so stop feeding it disk now. The simulation's own results
+        // are unaffected — only the cache entry is dropped.
+        tea_warn("trace cache: entry '%s' exceeds the cache budget "
+                 "(%llu > %llu bytes); admission denied",
+                 finalPath_.c_str(),
+                 static_cast<unsigned long long>(bytesWritten()),
+                 static_cast<unsigned long long>(byteLimit_));
+        admissionDenied_ = true;
+        abandon();
+    }
 }
 
 std::uint64_t
@@ -474,6 +522,15 @@ CompactTraceWriter::commit(const CoreStats &stats)
         // Publication already failed and was warned about above.
         std::remove(tmpPath_.c_str()); // tea_lint: allow(unchecked-io)
         return false;
+    }
+    // Make the rename itself durable. Failure here does not invalidate
+    // the entry — it is fully visible and valid for as long as this
+    // boot lasts — it only weakens the power-loss guarantee, so warn
+    // and keep the entry.
+    if (!syncDirOf(finalPath_, retryPolicy_, retryStats_)) {
+        tea_warn("trace cache: cannot fsync directory of '%s' (%s); "
+                 "entry is published but may not survive power loss",
+                 finalPath_.c_str(), errnoString(errno).c_str());
     }
     return true;
 }

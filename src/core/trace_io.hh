@@ -102,8 +102,24 @@ class CompactTraceWriter
     void writeChunk(const TraceChunk &chunk);
 
     /**
+     * Admission control: abandon the entry (with a warning) as soon as
+     * it grows past @p max_bytes — an entry larger than the whole cache
+     * budget can never survive a janitor pass, so finishing the write
+     * only wastes disk and eviction work. 0 (the default) disables the
+     * limit.
+     */
+    void setByteLimit(std::uint64_t max_bytes) { byteLimit_ = max_bytes; }
+
+    /** True when setByteLimit caused the entry to be abandoned. */
+    bool admissionDenied() const { return admissionDenied_; }
+
+    /**
      * Seal and publish the entry, embedding the simulation's final
      * @p stats so cache hits can reproduce them without simulating.
+     * After the tmp→final rename, the containing directory is fsync'd
+     * so the rename itself survives power-loss ordering, not just
+     * process death (a failing directory fsync degrades the durability
+     * guarantee with a warning; the entry is still valid this boot).
      * @return true when the entry is durably in place
      */
     bool commit(const CoreStats &stats);
@@ -132,6 +148,8 @@ class CompactTraceWriter
     std::uint64_t eventCount_ = 0;
     std::uint64_t cycleCount_ = 0;
     std::uint64_t payloadBytes_ = 0;
+    std::uint64_t byteLimit_ = 0; ///< admission cap (0 = unlimited)
+    bool admissionDenied_ = false;
     std::vector<std::uint8_t> scratch_; ///< reused frame encode buffer
     RetryPolicy retryPolicy_;
     RetryStats retryStats_;
