@@ -232,6 +232,7 @@ RunnerOptions::fromEnv()
     opts.batchFrames = static_cast<std::size_t>(
         envCount("TEA_BATCH_FRAMES", opts.batchFrames));
     tea_assert(opts.batchFrames >= 1, "TEA_BATCH_FRAMES must be >= 1");
+    opts.sim = TimeParallelOptions::fromEnv();
     return opts;
 }
 
@@ -356,10 +357,11 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
 {
     failpoints::checkEnvConsumed();
     TraceCache cache(opts.cache);
-    if (!cache.enabled() && opts.threads <= 1 && opts.audit == 0) {
-        // Serial path without caching or auditing: observers attached
-        // directly to the live core, bit-for-bit the historical
-        // behaviour.
+    if (!cache.enabled() && opts.threads <= 1 && opts.audit == 0 &&
+        !opts.sim.wantsParallel()) {
+        // Serial path without caching, auditing or time-parallel
+        // simulation: observers attached directly to the live core,
+        // bit-for-bit the historical behaviour.
         return runWorkload(std::move(workload), std::move(techniques),
                            cfg);
     }
@@ -528,22 +530,34 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
             writer->setByteLimit(opts.janitor.maxBytes);
         }
 
-        Core core(cfg, workload.program, std::move(workload.initial));
+        // The simulate call dispatches on opts.sim: with sim.threads
+        // <= 1 it is exactly the historical serial core.run(); with
+        // more it splits the run along the time axis and stitches the
+        // intervals back bit-identically (analysis/parallel_sim), so
+        // everything downstream — cache writer, observers, audit — is
+        // oblivious to how the stream was produced.
+        CoreStats simStats;
+        SimPerf simPerf;
+        TimeParallelStats simPar;
+        const auto simulate = [&](const std::vector<TraceSink *> &sinks) {
+            simPar = simulateTimeParallel(cfg, workload.program,
+                                          workload.initial, opts.sim, sinks,
+                                          &simStats, &simPerf);
+        };
         if (opts.threads <= 1) {
-            for (const SinkGroup &g : groups) {
-                for (TraceSink *s : g.sinks)
-                    core.addSink(s);
-            }
+            std::vector<TraceSink *> sinks;
+            for (const SinkGroup &g : groups)
+                sinks.insert(sinks.end(), g.sinks.begin(), g.sinks.end());
             std::unique_ptr<ChunkingSink> tee;
             if (writer) {
                 tee = std::make_unique<ChunkingSink>(
                     opts.chunkEvents, [&](TraceChunkPtr c) {
                         writer->writeChunk(*c);
                     });
-                core.addSink(tee.get());
+                sinks.push_back(tee.get());
             }
             const auto t0 = Clock::now();
-            core.run();
+            simulate(sinks);
             res.replay.simulateSeconds = secondsSince(t0);
             if (tee) {
                 tee->finish();
@@ -559,16 +573,20 @@ runWorkload(Workload workload, std::vector<SamplerConfig> techniques,
                                               writer->writeChunk(*c);
                                           push(std::move(c));
                                       });
-                    core.addSink(&sink);
-                    core.run();
+                    simulate({&sink});
                     sink.finish();
                 });
         }
-        res.stats = core.stats();
-        res.replay.simCycles = core.stats().cycles;
-        res.replay.simEvents = core.perf().traceEvents;
+        res.stats = simStats;
+        res.replay.simCycles = simStats.cycles;
+        res.replay.simEvents = simPerf.traceEvents;
+        res.replay.simParallel = simPar.usedParallel;
+        res.replay.simIntervals = simPar.intervals;
+        res.replay.simWarmupCycles = simPar.warmupCycles;
+        res.replay.simConvergenceRetries = simPar.convergenceRetries;
+        res.replay.simParallelEfficiency = simPar.parallelEfficiency;
         if (writer) {
-            res.replay.cacheStored = writer->commit(core.stats());
+            res.replay.cacheStored = writer->commit(simStats);
             res.replay.cacheBytes = writer->bytesWritten();
             res.replay.cacheAdmissionDenied = writer->admissionDenied();
             res.replay.ioRetries += writer->retryStats().retries;

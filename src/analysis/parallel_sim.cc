@@ -1,0 +1,1011 @@
+/**
+ * @file
+ * Time-parallel simulation engine (see parallel_sim.hh and DESIGN.md,
+ * "Time-parallel simulation").
+ *
+ * Coordinate systems: every worker simulates in local coordinates —
+ * cycle 0 is the first cycle after its checkpoint, seq 0 is the first
+ * micro-op it fetches. Because the core fetch-executes along the
+ * correct path and assigns one seq per dynamic instruction, worker j's
+ * local seq s is absolute seq s + C_j where C_j is the checkpoint's
+ * committed-uop count — a static offset known before the worker runs.
+ * Cycles have no such luxury: the absolute cycle of an interval's
+ * start is only known once every earlier interval is stitched, so the
+ * stitcher aligns each worker's warmup *end* with the accepted
+ * stream's end and rebases with the resulting signed delta.
+ */
+
+#include "analysis/parallel_sim.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "common/sync.hh"
+#include "core/checkpoint.hh"
+#include "core/trace_buffer.hh"
+#include "core/trace_codec.hh"
+
+namespace tea {
+
+namespace {
+
+/** Floor on the accepted-stream suffix retained for convergence checks. */
+constexpr Cycle kMinTailCycles = 2048;
+
+/**
+ * Tail retention headroom: keep this many multiples of the largest
+ * warmup span seen so far, so the next boundary can be checked over the
+ * worker's *entire* warmup stream, not just a fixed suffix window.
+ */
+constexpr Cycle kTailSpanMultiple = 8;
+
+/** Per-leg cycle budget (matches Core::run's default). */
+constexpr Cycle kLegMaxCycles = 2'000'000'000ULL;
+
+/** Environment unsigned with a default (fatal on garbage). */
+std::uint64_t
+envU64(const char *name, std::uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    char *end = nullptr;
+    const std::uint64_t n = std::strtoull(v, &end, 10);
+    if (end == v || *end)
+        tea_fatal("%s must be a non-negative integer, got '%s'", name, v);
+    return n;
+}
+
+/** The cycle stamp a sink would observe on @p ev. */
+Cycle
+eventStamp(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+    case TraceEventKind::Cycle:
+        return ev.p.cycle.cycle;
+    case TraceEventKind::Dispatch:
+    case TraceEventKind::Fetch:
+        return ev.p.uop.cycle;
+    case TraceEventKind::Retire:
+        return ev.p.retire.cycle;
+    case TraceEventKind::End:
+        return ev.p.end;
+    }
+    return 0; // unreachable
+}
+
+/**
+ * Rebase @p ev from worker-local to absolute coordinates: cycle fields
+ * shift by @p dcycle, valid seq fields by @p dseq. Fields gated by a
+ * validity flag are left untouched when invalid — they hold stale
+ * working-buffer bytes no observer may read (eventsEquivalent skips
+ * them and the codec canonicalizes them away).
+ */
+void
+rebaseEvent(TraceEvent &ev, std::int64_t dcycle, std::uint64_t dseq)
+{
+    const auto shift = [dcycle](Cycle c) {
+        return static_cast<Cycle>(static_cast<std::int64_t>(c) + dcycle);
+    };
+    switch (ev.kind) {
+    case TraceEventKind::Cycle: {
+        CycleRecord &r = ev.p.cycle;
+        r.cycle = shift(r.cycle);
+        if (r.headValid)
+            r.headSeq += dseq;
+        for (unsigned i = 0; i < r.numCommitted; ++i)
+            r.committed[i].seq += dseq;
+        break;
+    }
+    case TraceEventKind::Dispatch:
+    case TraceEventKind::Fetch:
+        ev.p.uop.cycle = shift(ev.p.uop.cycle);
+        ev.p.uop.seq += dseq;
+        break;
+    case TraceEventKind::Retire:
+        ev.p.retire.cycle = shift(ev.p.retire.cycle);
+        ev.p.retire.seq += dseq;
+        break;
+    case TraceEventKind::End:
+        ev.p.end = shift(ev.p.end);
+        break;
+    }
+}
+
+/** First index in [begin, end) whose stamp exceeds @p cycle. */
+std::size_t
+firstStampAfter(const std::vector<TraceEvent> &evs, std::size_t begin,
+                std::size_t end, Cycle cycle)
+{
+    const auto it = std::partition_point(
+        evs.begin() + static_cast<std::ptrdiff_t>(begin),
+        evs.begin() + static_cast<std::ptrdiff_t>(end),
+        [cycle](const TraceEvent &ev) { return eventStamp(ev) <= cycle; });
+    return static_cast<std::size_t>(it - evs.begin());
+}
+
+/** Field-wise difference end - begin of the interval-attributable
+ *  counters (every CoreStats field accumulates per cycle or per retire,
+ *  so a leg's contribution is the difference of its boundary
+ *  snapshots). */
+CoreStats
+statsDelta(const CoreStats &end, const CoreStats &begin)
+{
+    CoreStats d;
+    d.cycles = end.cycles - begin.cycles;
+    d.committedUops = end.committedUops - begin.committedUops;
+    for (std::size_t i = 0; i < d.stateCycles.size(); ++i)
+        d.stateCycles[i] = end.stateCycles[i] - begin.stateCycles[i];
+    for (std::size_t i = 0; i < d.eventCounts.size(); ++i)
+        d.eventCounts[i] = end.eventCounts[i] - begin.eventCounts[i];
+    d.uopsWithEvents = end.uopsWithEvents - begin.uopsWithEvents;
+    d.uopsWithCombined = end.uopsWithCombined - begin.uopsWithCombined;
+    d.branchMispredicts = end.branchMispredicts - begin.branchMispredicts;
+    d.pipelineFlushes = end.pipelineFlushes - begin.pipelineFlushes;
+    d.moViolations = end.moViolations - begin.moViolations;
+    d.drSqStallCycles = end.drSqStallCycles - begin.drSqStallCycles;
+    d.samplingInterrupts = end.samplingInterrupts - begin.samplingInterrupts;
+    return d;
+}
+
+void
+statsAccum(CoreStats &into, const CoreStats &d)
+{
+    into.cycles += d.cycles;
+    into.committedUops += d.committedUops;
+    for (std::size_t i = 0; i < d.stateCycles.size(); ++i)
+        into.stateCycles[i] += d.stateCycles[i];
+    for (std::size_t i = 0; i < d.eventCounts.size(); ++i)
+        into.eventCounts[i] += d.eventCounts[i];
+    into.uopsWithEvents += d.uopsWithEvents;
+    into.uopsWithCombined += d.uopsWithCombined;
+    into.branchMispredicts += d.branchMispredicts;
+    into.pipelineFlushes += d.pipelineFlushes;
+    into.moViolations += d.moViolations;
+    into.drSqStallCycles += d.drSqStallCycles;
+    into.samplingInterrupts += d.samplingInterrupts;
+}
+
+bool
+statsEqual(const CoreStats &a, const CoreStats &b)
+{
+    return a.cycles == b.cycles && a.committedUops == b.committedUops &&
+           a.stateCycles == b.stateCycles &&
+           a.eventCounts == b.eventCounts &&
+           a.uopsWithEvents == b.uopsWithEvents &&
+           a.uopsWithCombined == b.uopsWithCombined &&
+           a.branchMispredicts == b.branchMispredicts &&
+           a.pipelineFlushes == b.pipelineFlushes &&
+           a.moViolations == b.moViolations &&
+           a.drSqStallCycles == b.drSqStallCycles &&
+           a.samplingInterrupts == b.samplingInterrupts;
+}
+
+SimPerf
+perfDelta(const SimPerf &end, const SimPerf &begin)
+{
+    SimPerf d;
+    d.activeCycles = end.activeCycles - begin.activeCycles;
+    d.skippedCycles = end.skippedCycles - begin.skippedCycles;
+    d.traceEvents = end.traceEvents - begin.traceEvents;
+    d.wakeups = end.wakeups - begin.wakeups;
+    return d;
+}
+
+void
+perfAccum(SimPerf &into, const SimPerf &d)
+{
+    into.activeCycles += d.activeCycles;
+    into.skippedCycles += d.skippedCycles;
+    into.traceEvents += d.traceEvents;
+    into.wakeups += d.wakeups;
+}
+
+/** TraceSink buffering the raw event stream, End included. */
+class CaptureSink final : public TraceSink
+{
+  public:
+    std::vector<TraceEvent> events;
+
+    void onBatch(const TraceEvent *evs, std::size_t n) override
+    {
+        events.insert(events.end(), evs, evs + n);
+    }
+
+    void onEnd(Cycle final_cycle) override
+    {
+        TraceEvent ev;
+        ev.kind = TraceEventKind::End;
+        ev.p.end = final_cycle;
+        events.push_back(ev);
+    }
+};
+
+/**
+ * Deliver @p n consecutive absolute-coordinate events to @p sinks the
+ * way the core does: onBatch for every run of non-End events, a
+ * dedicated onEnd per End marker (the replayChunk contract).
+ */
+void
+deliverRange(const TraceEvent *evs, std::size_t n,
+             const std::vector<TraceSink *> &sinks)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j < n && evs[j].kind != TraceEventKind::End)
+            ++j;
+        if (j > i)
+            for (TraceSink *sink : sinks)
+                sink->onBatch(evs + i, j - i);
+        if (j < n) {
+            for (TraceSink *sink : sinks)
+                sink->onEnd(evs[j].p.end);
+            ++j;
+        }
+        i = j;
+    }
+}
+
+/** A parked simulation: a live Core plus its capture sink and the
+ *  local-to-absolute identity of its coordinate system. */
+struct ParkedRun
+{
+    std::unique_ptr<Core> core;
+    std::unique_ptr<CaptureSink> capture;
+    std::int64_t deltaCycle = 0;  ///< absolute = local + deltaCycle
+    std::uint64_t deltaSeq = 0;   ///< absolute = local + deltaSeq
+};
+
+/** What one worker hands the stitcher for one interval. */
+struct IntervalResult
+{
+    std::uint64_t index = 0;
+    bool failed = false; ///< worker threw; error holds the message
+    std::string error;
+
+    ParkedRun run; ///< core parked at the interval end, events captured
+
+    std::size_t mainBegin = 0;   ///< first event past the warmup region
+    Cycle warmupEndCycle = 0;    ///< local stamp of the last warmup cycle
+    Cycle endCycle = 0;          ///< local stamp of the last simulated cycle
+    bool halted = false;
+    /** Core::stateFingerprint at the warmup/main boundary: compared
+     *  against the predecessor's end fingerprint by the stitcher (the
+     *  state leg of convergence acceptance). */
+    std::uint64_t warmupFingerprint = 0;
+    /** Core::stateFingerprint at the interval end: what the *next*
+     *  interval's warmup fingerprint must reproduce. */
+    std::uint64_t endFingerprint = 0;
+
+    /** Per-structure decomposition (TEA_SIM_DEBUG only). */
+    std::vector<std::pair<const char *, std::uint64_t>> warmupParts;
+    std::vector<std::pair<const char *, std::uint64_t>> endParts;
+    CoreStats warmupStats;       ///< snapshot at the warmup/main boundary
+    SimPerf warmupPerf;
+    CoreStats endStats;
+    SimPerf endPerf;
+};
+
+/** Worker/stitcher rendezvous: in-order claims, bounded in-flight. */
+struct SimShared
+{
+    Mutex mu;
+    CondVar cv;
+    std::vector<std::unique_ptr<IntervalResult>> results
+        TEA_GUARDED_BY(mu);
+    std::uint64_t nextClaim TEA_GUARDED_BY(mu) = 0;
+    std::uint64_t taken TEA_GUARDED_BY(mu) = 0;
+    bool aborted TEA_GUARDED_BY(mu) = false;
+};
+
+/** Inputs shared by every worker (all read-only during the run). */
+struct SimPlan
+{
+    const CoreConfig *cfg = nullptr;
+    const Program *prog = nullptr;
+    const ArchState *initial = nullptr;
+    const CheckpointPlan *plan = nullptr;
+    std::uint64_t intervals = 0; ///< K
+    std::uint64_t intervalUops = 0;
+    std::uint64_t warmupUops = 0;
+    std::uint64_t maxInFlight = 0;
+};
+
+/**
+ * Simulate interval @p j in local coordinates: build a core at the
+ * interval's checkpoint (worker 0: the true initial state), run the
+ * warmup leg with capture, snapshot, then run the main leg to the
+ * interval's committed-uop boundary (the final interval: to halt).
+ */
+std::unique_ptr<IntervalResult>
+simulateInterval(const SimPlan &sp, std::uint64_t j)
+{
+    auto res = std::make_unique<IntervalResult>();
+    res->index = j;
+    const bool last = (j + 1 == sp.intervals);
+    res->run.capture = std::make_unique<CaptureSink>();
+
+    if (j == 0) {
+        // Worker 0 needs no warmup: it starts from the true initial
+        // state, so its stream is the serial stream by construction.
+        res->run.core = std::make_unique<Core>(*sp.cfg, *sp.prog,
+                                               ArchState(*sp.initial));
+        res->run.core->addSink(res->run.capture.get());
+        res->run.core->runUntilCommitted(
+            last ? ~std::uint64_t(0) : sp.intervalUops, kLegMaxCycles);
+        res->mainBegin = 0;
+        res->warmupEndCycle = 0;
+        // warmupStats/~Perf stay zero-initialized: the whole leg is
+        // accepted stream.
+    } else {
+        const ArchCheckpoint &ck = sp.plan->checkpoints[j - 1];
+        tea_assert(ck.uops == j * sp.intervalUops - sp.warmupUops,
+                   "checkpoint %llu at uop %llu, expected %llu",
+                   static_cast<unsigned long long>(j),
+                   static_cast<unsigned long long>(ck.uops),
+                   static_cast<unsigned long long>(j * sp.intervalUops -
+                                                   sp.warmupUops));
+        res->run.deltaSeq = ck.uops;
+        ArchState st = materializeState(*sp.initial, *sp.plan, ck);
+        res->run.core = std::make_unique<Core>(*sp.cfg, *sp.prog,
+                                               std::move(st), ck.pc,
+                                               ck.uops,
+                                               ck.predictor.get());
+        // Functional cache warming: replay the checkpoint's recorded
+        // access stream so tags/LRU/TLBs start near serial state and
+        // the timing warmup leg only has to converge the residue.
+        res->run.core->warmFromCheckpoint(ck);
+        res->run.core->addSink(res->run.capture.get());
+
+        // Warmup leg: converge the cold microarchitectural state.
+        // Events are captured for the convergence check but never
+        // delivered downstream (the suppressed-emission contract).
+        res->run.core->runUntilCommitted(sp.warmupUops, kLegMaxCycles);
+        res->warmupEndCycle = res->run.core->cycle() - 1;
+        res->warmupStats = res->run.core->stats();
+        res->warmupPerf = res->run.core->perf();
+        res->warmupFingerprint = res->run.core->stateFingerprint();
+        if (std::getenv("TEA_SIM_DEBUG"))
+            res->warmupParts = res->run.core->stateFingerprintParts();
+
+        // Main leg: local target = interval end minus checkpoint base.
+        const std::uint64_t target =
+            last ? ~std::uint64_t(0)
+                 : (j + 1) * sp.intervalUops - ck.uops;
+        res->run.core->runUntilCommitted(target, kLegMaxCycles);
+        res->mainBegin = firstStampAfter(res->run.capture->events, 0,
+                                         res->run.capture->events.size(),
+                                         res->warmupEndCycle);
+    }
+
+    res->endCycle = res->run.core->cycle() - 1;
+    res->halted = res->run.core->halted();
+    res->endStats = res->run.core->stats();
+    res->endPerf = res->run.core->perf();
+    res->endFingerprint = res->run.core->stateFingerprint();
+    if (std::getenv("TEA_SIM_DEBUG"))
+        res->endParts = res->run.core->stateFingerprintParts();
+    return res;
+}
+
+void
+workerLoop(const SimPlan &sp, SimShared &sh)
+{
+    for (;;) {
+        std::uint64_t j;
+        {
+            MutexLock lock(sh.mu);
+            while (!sh.aborted && sh.nextClaim < sp.intervals &&
+                   sh.nextClaim >= sh.taken + sp.maxInFlight)
+                sh.cv.wait(sh.mu);
+            if (sh.aborted || sh.nextClaim >= sp.intervals)
+                return;
+            j = sh.nextClaim++;
+        }
+        std::unique_ptr<IntervalResult> res;
+        try {
+            res = simulateInterval(sp, j);
+        } catch (const std::exception &e) {
+            res = std::make_unique<IntervalResult>();
+            res->index = j;
+            res->failed = true;
+            res->error = e.what();
+        }
+        {
+            MutexLock lock(sh.mu);
+            sh.results[j] = std::move(res);
+            sh.cv.notify_all();
+        }
+    }
+}
+
+/** Everything the stitcher carries between intervals. */
+struct StitchState
+{
+    std::vector<TraceSink *> sinks;
+    ParkedRun parked;           ///< previous interval's core, kept alive
+    Cycle absLast = 0;          ///< absolute stamp of the accepted end
+    std::vector<TraceEvent> tail; ///< accepted suffix, absolute coords
+    CoreStats stats;
+    SimPerf perf;
+    std::uint64_t warmupCycles = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t parallelCycles = 0; ///< cycles from accepted workers
+    Cycle maxWarmupSpan = 0; ///< largest warmup span observed so far
+    bool halted = false;
+    /** Latent-state fingerprint of the parked core at the accepted
+     *  boundary — what the next worker's warmup must reproduce. */
+    std::uint64_t parkedFingerprint = 0;
+    /** Its decomposition (TEA_SIM_DEBUG only). */
+    std::vector<std::pair<const char *, std::uint64_t>> parkedParts;
+};
+
+/** Trim st.tail to the stamps within the retained check window. */
+void
+trimTail(StitchState &st)
+{
+    // Until a worker result has shown how many cycles a warmup leg
+    // spans, keep everything: the first boundary must be checkable
+    // over the worker's full warmup stream.
+    if (st.tail.empty() || st.maxWarmupSpan == 0)
+        return;
+    const Cycle keep =
+        std::max(kMinTailCycles, kTailSpanMultiple * st.maxWarmupSpan);
+    if (st.absLast < keep)
+        return; // whole accepted stream still within the window
+    const std::size_t cut =
+        firstStampAfter(st.tail, 0, st.tail.size(), st.absLast - keep);
+    st.tail.erase(st.tail.begin(),
+                  st.tail.begin() + static_cast<std::ptrdiff_t>(cut));
+}
+
+/**
+ * Accept @p n events starting at @p evs as the next piece of the
+ * serial stream: rebase them in place to absolute coordinates, deliver
+ * to the sinks, and extend the retained tail.
+ */
+void
+acceptEvents(StitchState &st, TraceEvent *evs, std::size_t n,
+             std::int64_t dcycle, std::uint64_t dseq)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        rebaseEvent(evs[i], dcycle, dseq);
+    deliverRange(evs, n, st.sinks);
+    st.tail.insert(st.tail.end(), evs, evs + n);
+}
+
+/**
+ * How many cycles of @p res's warmup stream, walking backwards from
+ * the interval boundary, reproduce the accepted serial stream? The
+ * boundary is end-aligned by construction (committed-uop counts), so
+ * the two streams are paired from the boundary backwards and compared
+ * after rebasing. A worker is converged when this matched suffix is
+ * long enough (see convergedWindow); the early part of the warmup leg
+ * is *expected* to diverge — that is the cold start the warmup
+ * exists to absorb. A matching suffix alone cannot prove latent
+ * long-memory state (cache LRU depths the boundary window never
+ * exercises), so acceptance additionally requires the worker's state
+ * fingerprint to equal the predecessor's (Core::stateFingerprint);
+ * the TEA_SIM_PARALLEL=verify oracle remains the end-to-end guarantee
+ * for whatever neither leg covers.
+ *
+ * @return pair of (matched suffix length in cycles, overlap length in
+ *         cycles); the overlap is the window both sides cover.
+ */
+std::pair<Cycle, Cycle>
+matchedSuffix(const StitchState &st, const IntervalResult &res)
+{
+    const std::vector<TraceEvent> &wev = res.run.capture->events;
+
+    const Cycle serialSpan = st.tail.empty()
+                                 ? 0
+                                 : st.absLast - eventStamp(st.tail.front()) + 1;
+    const Cycle warmupSpan = res.warmupEndCycle + 1;
+    const Cycle window = std::min(serialSpan, warmupSpan);
+    if (window == 0)
+        return {0, 0};
+
+    const std::int64_t dcycle = static_cast<std::int64_t>(st.absLast) -
+                                static_cast<std::int64_t>(res.warmupEndCycle);
+    const std::size_t maxPairs = std::min(st.tail.size(), res.mainBegin);
+    std::size_t i = 0;
+    while (i < maxPairs) {
+        TraceEvent ev = wev[res.mainBegin - 1 - i];
+        rebaseEvent(ev, dcycle, res.run.deltaSeq);
+        if (!eventsEquivalent(st.tail[st.tail.size() - 1 - i], ev))
+            break;
+        ++i;
+    }
+    if (std::getenv("TEA_SIM_DEBUG2") && i < maxPairs) {
+        for (std::size_t k = (i > 2 ? i - 2 : 0);
+             k <= i + 5 && k < maxPairs; ++k) {
+            const TraceEvent &se = st.tail[st.tail.size() - 1 - k];
+            TraceEvent we = wev[res.mainBegin - 1 - k];
+            rebaseEvent(we, dcycle, res.run.deltaSeq);
+            std::fprintf(stderr,
+                         "tea-sim:   pair %zu serial k=%d c=%llu "
+                         "seq=%llu pc=%u | warm k=%d c=%llu seq=%llu "
+                         "pc=%u%s\n",
+                         k, (int)se.kind,
+                         (unsigned long long)eventStamp(se),
+                         (unsigned long long)(se.kind ==
+                                                      TraceEventKind::Retire
+                                                  ? se.p.retire.seq
+                                                  : se.p.uop.seq),
+                         se.kind == TraceEventKind::Retire ? se.p.retire.pc
+                                                          : se.p.uop.pc,
+                         (int)we.kind,
+                         (unsigned long long)eventStamp(we),
+                         (unsigned long long)(we.kind ==
+                                                      TraceEventKind::Retire
+                                                  ? we.p.retire.seq
+                                                  : we.p.uop.seq),
+                         we.kind == TraceEventKind::Retire ? we.p.retire.pc
+                                                          : we.p.uop.pc,
+                         k == i ? "  <-- first diff" : "");
+        }
+    }
+    if (i == 0)
+        return {0, window};
+    if (i == maxPairs)
+        return {window, window}; // the whole overlap matched
+    const Cycle earliest = eventStamp(st.tail[st.tail.size() - i]);
+    return {st.absLast - earliest, window};
+}
+
+/**
+ * The matched-suffix length (in cycles) required to accept a worker
+ * interval, given the overlap both streams cover. One eighth of the
+ * overlap, floored at kMinTailCycles: the suffix leg only has to
+ * prove that pipeline-visible state converged and stayed locked —
+ * thousands of cycles against a pipeline whose deepest structure
+ * holds a few hundred — because the latent long-memory state (cache
+ * LRU depths, TLBs, store sets) is covered by the mandatory
+ * fingerprint leg of the acceptance, which no output window of any
+ * length can prove.
+ */
+Cycle
+convergedWindow(Cycle overlap)
+{
+    return std::min(overlap, std::max(kMinTailCycles, overlap / 8));
+}
+
+/**
+ * Redo interval @p j serially on the parked predecessor core — an
+ * exact continuation of the accepted stream by construction.
+ */
+void
+retrySerially(const SimPlan &sp, StitchState &st, std::uint64_t j)
+{
+    ++st.retries;
+    ParkedRun &run = st.parked;
+    tea_assert(run.core != nullptr, "no parked core for serial retry");
+
+    const bool last = (j + 1 == sp.intervals);
+    const CoreStats statsBefore = run.core->stats();
+    const SimPerf perfBefore = run.core->perf();
+    run.capture->events.clear();
+
+    // Local target: the interval's absolute uop boundary minus this
+    // core's seq base (its local seq count is its committed count).
+    const std::uint64_t target =
+        last ? ~std::uint64_t(0)
+             : (j + 1) * sp.intervalUops - run.deltaSeq;
+    run.core->runUntilCommitted(target, kLegMaxCycles);
+
+    std::vector<TraceEvent> &evs = run.capture->events;
+    acceptEvents(st, evs.data(), evs.size(), run.deltaCycle, run.deltaSeq);
+    st.absLast = static_cast<Cycle>(
+        static_cast<std::int64_t>(run.core->cycle() - 1) + run.deltaCycle);
+    statsAccum(st.stats, statsDelta(run.core->stats(), statsBefore));
+    perfAccum(st.perf, perfDelta(run.core->perf(), perfBefore));
+    st.halted = run.core->halted();
+    st.parkedFingerprint = run.core->stateFingerprint();
+    if (std::getenv("TEA_SIM_DEBUG"))
+        st.parkedParts = run.core->stateFingerprintParts();
+    evs.clear();
+    trimTail(st);
+}
+
+/** Accept interval @p j from worker result @p res. */
+void
+acceptWorker(StitchState &st, IntervalResult &res)
+{
+    std::vector<TraceEvent> &evs = res.run.capture->events;
+    const std::int64_t dcycle = static_cast<std::int64_t>(st.absLast) -
+                                static_cast<std::int64_t>(res.warmupEndCycle);
+    res.run.deltaCycle = dcycle;
+    acceptEvents(st, evs.data() + res.mainBegin, evs.size() - res.mainBegin,
+                 dcycle, res.run.deltaSeq);
+    st.absLast =
+        static_cast<Cycle>(static_cast<std::int64_t>(res.endCycle) + dcycle);
+    statsAccum(st.stats, statsDelta(res.endStats, res.warmupStats));
+    perfAccum(st.perf, perfDelta(res.endPerf, res.warmupPerf));
+    st.parallelCycles += res.endCycle - res.warmupEndCycle;
+    st.halted = res.halted;
+    st.parkedFingerprint = res.endFingerprint;
+    st.parkedParts = std::move(res.endParts);
+    evs.clear();
+    evs.shrink_to_fit();
+    trimTail(st);
+    // The worker's core replaces the parked predecessor.
+    st.parked = std::move(res.run);
+}
+
+/**
+ * Structural screen before the convergence check: the worker must have
+ * produced a stream that cleanly spans its interval.
+ */
+bool
+structurallySound(const SimPlan &sp, const IntervalResult &res)
+{
+    if (res.failed)
+        return false;
+    const bool last = (res.index + 1 == sp.intervals);
+    if (last) {
+        // The final interval must run to the program's halt.
+        if (!res.halted)
+            return false;
+    } else {
+        // A non-final interval must reach its uop boundary unhalted.
+        if (res.halted)
+            return false;
+        const std::uint64_t target =
+            (res.index + 1) * sp.intervalUops - res.run.deltaSeq;
+        if (res.endStats.committedUops < target)
+            return false;
+    }
+    // The warmup leg must not have halted (committed count below the
+    // warmup target means the budget ran out mid-warmup).
+    if (res.index > 0 && res.warmupStats.committedUops < sp.warmupUops)
+        return false;
+    return true;
+}
+
+/** Serial reference path shared by the fallback and the oracle. */
+void
+runSerialReference(const CoreConfig &cfg, const Program &prog,
+                   const ArchState &initial,
+                   const std::vector<TraceSink *> &sinks,
+                   CoreStats *stats_out, SimPerf *perf_out)
+{
+    Core core(cfg, prog, ArchState(initial));
+    for (TraceSink *sink : sinks)
+        core.addSink(sink);
+    core.run();
+    *stats_out = core.stats();
+    *perf_out = core.perf();
+}
+
+/** Functional instruction count to halt; 0 when the budget ran out. */
+std::uint64_t
+countUopsToHalt(const Program &prog, const ArchState &initial,
+                std::uint64_t max_uops)
+{
+    ArchState st = initial;
+    InstIndex pc = prog.entry();
+    std::uint64_t count = 0;
+    while (count < max_uops) {
+        ExecResult er = execute(prog, pc, st);
+        ++count;
+        if (er.halted)
+            return count;
+        pc = er.nextPc;
+    }
+    return 0;
+}
+
+/**
+ * The time-parallel path proper. Returns false when the plan turned
+ * out unusable (pre-pass did not halt / too short to split) and the
+ * caller should run serially instead; on success fills everything.
+ */
+bool
+runTimeParallel(const CoreConfig &cfg, const Program &prog,
+                const ArchState &initial, const TimeParallelOptions &opts,
+                unsigned threads, const std::vector<TraceSink *> &sinks,
+                CoreStats *stats_out, SimPerf *perf_out,
+                TimeParallelStats *tp)
+{
+    // Resolve the interval geometry. An explicit TEA_SIM_INTERVAL is
+    // taken as-is; otherwise one interval per worker, floored so the
+    // warmup prefix stays a fraction of the interval.
+    std::uint64_t warmup = std::max<std::uint64_t>(1, opts.warmupUops);
+    std::uint64_t interval = opts.intervalUops;
+    constexpr std::uint64_t kPrePassBudget = 1ULL << 33;
+    if (interval == 0) {
+        const std::uint64_t total =
+            countUopsToHalt(prog, initial, kPrePassBudget);
+        if (total == 0)
+            return false; // does not halt in budget; serial owns it
+        interval = std::max<std::uint64_t>(2 * warmup,
+                                           (total + threads - 1) / threads);
+    }
+    if (interval < 2)
+        return false;
+    if (warmup >= interval)
+        warmup = interval / 2; // >= 1 because interval >= 2
+
+    CheckpointPlan plan = buildCheckpoints(prog, initial, interval, warmup,
+                                           kPrePassBudget, &cfg);
+    if (!plan.halted)
+        return false;
+    const std::uint64_t K =
+        (plan.totalUops + interval - 1) / interval;
+    if (K < 2)
+        return false;
+    tea_assert(plan.checkpoints.size() >= K - 1,
+               "plan has %zu checkpoints for %llu intervals",
+               plan.checkpoints.size(), static_cast<unsigned long long>(K));
+
+    SimPlan sp;
+    sp.cfg = &cfg;
+    sp.prog = &prog;
+    sp.initial = &initial;
+    sp.plan = &plan;
+    sp.intervals = K;
+    sp.intervalUops = interval;
+    sp.warmupUops = warmup;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::uint64_t>(threads, K));
+    sp.maxInFlight = workers + 1;
+
+    SimShared sh;
+    {
+        MutexLock lock(sh.mu);
+        sh.results.resize(K);
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        // workerLoop catches per-interval exceptions itself and turns
+        // them into failed IntervalResults (the stitcher owns the
+        // diagnostic); what remains in the body is lock/wait/move,
+        // which is noexcept in practice.
+        // tea_lint: allow(unguarded-worker)
+        pool.emplace_back([&sp, &sh] { workerLoop(sp, sh); });
+
+    StitchState st;
+    st.sinks = sinks;
+    std::string failure;
+    try {
+        for (std::uint64_t j = 0; j < K; ++j) {
+            std::unique_ptr<IntervalResult> res;
+            {
+                MutexLock lock(sh.mu);
+                while (!sh.results[j])
+                    sh.cv.wait(sh.mu);
+                res = std::move(sh.results[j]);
+                sh.taken = j + 1;
+                sh.cv.notify_all();
+            }
+            if (res->index > 0 && !res->failed) {
+                st.warmupCycles += res->warmupEndCycle + 1;
+                st.maxWarmupSpan =
+                    std::max(st.maxWarmupSpan, res->warmupEndCycle + 1);
+            }
+
+            if (j == 0) {
+                if (res->failed)
+                    throw std::runtime_error("time-parallel worker 0: " +
+                                             res->error);
+                // Worker 0 is the serial prefix: always accepted, with
+                // a zero delta on both axes. Its leg includes cycle 0,
+                // which endCycle - warmupEndCycle undercounts by one.
+                st.parallelCycles += 1;
+                acceptWorker(st, *res);
+                continue;
+            }
+            const bool sound = structurallySound(sp, *res);
+            Cycle matched = 0;
+            Cycle overlap = 0;
+            if (sound)
+                std::tie(matched, overlap) = matchedSuffix(st, *res);
+            const Cycle required = convergedWindow(overlap);
+            // Two-leg acceptance: the output suffix near the boundary
+            // must match (pipeline-visible state), and the latent
+            // memory/ordering state must hash identically to the
+            // predecessor's at the same committed-uop boundary (the
+            // state no output window can prove).
+            const bool stateMatch =
+                sound && res->warmupFingerprint == st.parkedFingerprint;
+            const bool converged = stateMatch && matched >= required;
+            if (std::getenv("TEA_SIM_DEBUG"))
+                std::fprintf(stderr,
+                             "tea-sim: interval %llu %s (sound=%d "
+                             "state=%d matched=%llu/%llu required=%llu "
+                             "warmupEnd=%llu end=%llu absLast=%llu)\n",
+                             static_cast<unsigned long long>(j),
+                             converged ? "accepted" : "retried", sound,
+                             stateMatch,
+                             static_cast<unsigned long long>(matched),
+                             static_cast<unsigned long long>(overlap),
+                             static_cast<unsigned long long>(required),
+                             static_cast<unsigned long long>(
+                                 res->warmupEndCycle),
+                             static_cast<unsigned long long>(res->endCycle),
+                             static_cast<unsigned long long>(st.absLast));
+            if (std::getenv("TEA_SIM_DEBUG") && sound && !stateMatch &&
+                res->warmupParts.size() == st.parkedParts.size()) {
+                for (std::size_t p = 0; p < res->warmupParts.size(); ++p)
+                    if (res->warmupParts[p].second !=
+                        st.parkedParts[p].second)
+                        std::fprintf(stderr,
+                                     "tea-sim:   state diff: %s\n",
+                                     res->warmupParts[p].first);
+            }
+            if (converged)
+                acceptWorker(st, *res);
+            else
+                retrySerially(sp, st, j);
+        }
+    } catch (...) {
+        {
+            MutexLock lock(sh.mu);
+            sh.aborted = true;
+            sh.cv.notify_all();
+        }
+        for (std::thread &t : pool)
+            t.join();
+        throw;
+    }
+    {
+        MutexLock lock(sh.mu);
+        sh.aborted = true;
+        sh.cv.notify_all();
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    tea_assert(st.halted, "time-parallel simulation did not halt");
+    tea_assert(st.stats.cycles == st.absLast + 1,
+               "stitched cycle count %llu != final cycle %llu",
+               static_cast<unsigned long long>(st.stats.cycles),
+               static_cast<unsigned long long>(st.absLast + 1));
+
+    *stats_out = st.stats;
+    *perf_out = st.perf;
+    tp->usedParallel = true;
+    tp->intervals = K;
+    tp->warmupCycles = st.warmupCycles;
+    tp->convergenceRetries = st.retries;
+    tp->parallelEfficiency =
+        st.stats.cycles
+            ? static_cast<double>(st.parallelCycles) /
+                  static_cast<double>(st.stats.cycles)
+            : 0.0;
+    return true;
+}
+
+/** Hash sink: fingerprints the stream through the canonical codec. */
+class FingerprintSink
+{
+  public:
+    FingerprintSink()
+        : sink_(4096, [this](TraceChunkPtr chunk) {
+              frame_.clear();
+              encodeChunk(*chunk, frame_);
+              hash_.addBytes(frame_.data(), frame_.size());
+              ++chunks_;
+          })
+    {
+    }
+
+    ChunkingSink *sink() { return &sink_; }
+
+    std::uint64_t finishAndValue()
+    {
+        sink_.finish();
+        return hash_.value();
+    }
+
+    std::uint64_t events() const { return sink_.eventsCaptured(); }
+    std::uint64_t chunks() const { return chunks_; }
+
+  private:
+    ChunkingSink sink_;
+    std::vector<std::uint8_t> frame_;
+    Fnv1a hash_;
+    std::uint64_t chunks_ = 0;
+};
+
+} // namespace
+
+TimeParallelOptions
+TimeParallelOptions::fromEnv()
+{
+    TimeParallelOptions o;
+    o.threads = static_cast<unsigned>(envU64("TEA_SIM_THREADS", o.threads));
+    o.intervalUops = envU64("TEA_SIM_INTERVAL", o.intervalUops);
+    o.warmupUops = envU64("TEA_SIM_WARMUP", o.warmupUops);
+    if (const char *mode = std::getenv("TEA_SIM_PARALLEL")) {
+        if (!std::strcmp(mode, "off") || !std::strcmp(mode, "0"))
+            o.mode = SimParallelMode::Off;
+        else if (!std::strcmp(mode, "on") || !std::strcmp(mode, "1"))
+            o.mode = SimParallelMode::On;
+        else if (!std::strcmp(mode, "verify"))
+            o.mode = SimParallelMode::Verify;
+        else
+            tea_fatal("TEA_SIM_PARALLEL must be off|on|verify, got '%s'",
+                      mode);
+    }
+    return o;
+}
+
+TimeParallelStats
+simulateTimeParallel(const CoreConfig &cfg, const Program &prog,
+                     const ArchState &initial,
+                     const TimeParallelOptions &opts,
+                     const std::vector<TraceSink *> &sinks,
+                     CoreStats *stats_out, SimPerf *perf_out)
+{
+    TimeParallelStats tp;
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+
+    // Sampling interrupts fire on absolute cycles; a restarted interval
+    // cannot know its absolute phase, so such configs stay serial.
+    const bool viable = opts.wantsParallel() && threads > 1 &&
+                        cfg.samplingInterruptPeriod == 0;
+    if (!viable) {
+        runSerialReference(cfg, prog, initial, sinks, stats_out, perf_out);
+        return tp;
+    }
+
+    if (opts.mode != SimParallelMode::Verify) {
+        if (!runTimeParallel(cfg, prog, initial, opts, threads, sinks,
+                             stats_out, perf_out, &tp))
+            runSerialReference(cfg, prog, initial, sinks, stats_out,
+                               perf_out);
+        return tp;
+    }
+
+    // Differential oracle: tee the stitched stream through the codec
+    // fingerprint, then run the serial reference and compare.
+    FingerprintSink fpPar;
+    std::vector<TraceSink *> teed = sinks;
+    teed.push_back(fpPar.sink());
+    if (!runTimeParallel(cfg, prog, initial, opts, threads, teed, stats_out,
+                         perf_out, &tp)) {
+        runSerialReference(cfg, prog, initial, sinks, stats_out, perf_out);
+        return tp;
+    }
+    const std::uint64_t parHash = fpPar.finishAndValue();
+
+    FingerprintSink fpSer;
+    CoreStats serStats;
+    SimPerf serPerf;
+    std::vector<TraceSink *> serSinks{fpSer.sink()};
+    runSerialReference(cfg, prog, initial, serSinks, &serStats, &serPerf);
+    const std::uint64_t serHash = fpSer.finishAndValue();
+
+    if (parHash != serHash || fpPar.events() != fpSer.events() ||
+        fpPar.chunks() != fpSer.chunks() ||
+        !statsEqual(*stats_out, serStats))
+        tea_fatal("TEA_SIM_PARALLEL=verify: stitched stream diverges from "
+                  "serial reference (events %llu vs %llu, hash %016llx vs "
+                  "%016llx, stats %s)",
+                  static_cast<unsigned long long>(fpPar.events()),
+                  static_cast<unsigned long long>(fpSer.events()),
+                  static_cast<unsigned long long>(parHash),
+                  static_cast<unsigned long long>(serHash),
+                  statsEqual(*stats_out, serStats) ? "equal" : "DIFFER");
+    return tp;
+}
+
+} // namespace tea

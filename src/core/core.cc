@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
+#include "core/checkpoint.hh"
 #include "isa/memory.hh"
 
 namespace tea {
@@ -88,12 +90,33 @@ Core::Core(const CoreConfig &cfg, const Program &prog, ArchState initial,
     init();
 }
 
+Core::Core(const CoreConfig &cfg, const Program &prog, ArchState initial,
+           InstIndex start_pc, std::uint64_t uop_base,
+           const BranchPredictor *warm_predictor)
+    : cfg_(cfg),
+      prog_(prog),
+      arch_(std::move(initial)),
+      mem_(cfg),
+      bp_(warm_predictor ? warm_predictor->clone() : makePredictor(cfg)),
+      fetchPc_(start_pc),
+      rob_(cfg.robEntries)
+{
+    tea_assert(start_pc < prog.size(), "start pc %u out of range",
+               static_cast<unsigned>(start_pc));
+    uopBase_ = uop_base;
+    init();
+}
+
 void
 Core::init()
 {
     tea_assert(cfg_.commitWidth <= committedThisCycle_.size(),
                "commit width %u too large", cfg_.commitWidth);
     lastWriter_.fill(invalidSeqNum);
+    nextSsClear_ = cfg_.storeSetClearInterval == 0
+                       ? ~std::uint64_t(0)
+                       : (uopBase_ / cfg_.storeSetClearInterval + 1) *
+                             cfg_.storeSetClearInterval;
 
     // Every container touched per cycle is sized once, here: the hot
     // stages (annotated `tea_lint: hot`) must never allocate.
@@ -120,6 +143,47 @@ void
 Core::addSink(TraceSink *sink)
 {
     sinks_.push_back(sink);
+}
+
+void
+Core::warmFromCheckpoint(const ArchCheckpoint &ck)
+{
+    tea_assert(cycle_ == 0,
+               "warmFromCheckpoint requires a core that has not yet run "
+               "(cycle %llu)",
+               static_cast<unsigned long long>(cycle_));
+    mem_.warmReplay(ck.codeFirstTouch, ck.warmAccesses);
+    mem_.installCodeLines(ck.codeLastUse);
+    mem_.installL2Tlb(ck.l2Tlb);
+}
+
+std::uint64_t
+Core::stateFingerprint() const
+{
+    Fnv1a h;
+    mem_.fingerprintState(h, cycle_);
+    hashStoreSets(h);
+    return h.value();
+}
+
+std::vector<std::pair<const char *, std::uint64_t>>
+Core::stateFingerprintParts() const
+{
+    auto parts = mem_.fingerprintParts(cycle_);
+    Fnv1a h;
+    hashStoreSets(h);
+    parts.emplace_back("store-sets", h.value());
+    return parts;
+}
+
+void
+Core::hashStoreSets(Fnv1a &h) const
+{
+    std::vector<InstIndex> ss(storeSets_.begin(), storeSets_.end());
+    std::sort(ss.begin(), ss.end());
+    h.add(ss.size());
+    for (InstIndex pc : ss)
+        h.add(pc);
 }
 
 // tea_lint: hot
@@ -903,6 +967,18 @@ Core::fetchStage()
 }
 
 // tea_lint: hot
+// tea_lint: hot
+void
+Core::ageStoreSets()
+{
+    const std::uint64_t committed = uopBase_ + stats_.committedUops;
+    if (committed < nextSsClear_)
+        return;
+    storeSets_.clear();
+    nextSsClear_ = (committed / cfg_.storeSetClearInterval + 1) *
+                   cfg_.storeSetClearInterval;
+}
+
 void
 Core::runStages()
 {
@@ -937,10 +1013,7 @@ bool
 Core::step()
 {
     runStages();
-    if (cfg_.storeSetClearInterval != 0 && cycle_ != 0 &&
-        cycle_ % cfg_.storeSetClearInterval == 0) {
-        storeSets_.clear();
-    }
+    ageStoreSets();
     endOfCycle();
     // The stages schedule wakes unconditionally (so a step()-driven
     // prefix can hand off to the fast path); drain the stale ones to
@@ -994,8 +1067,13 @@ Core::skipIdleCycles(Cycle until)
         stats_.drSqStallCycles += skipped;
     if (!sinks_.empty()) {
         // Idle frames differ only in their cycle stamp: append the
-        // template in batch-sized bulk and stamp afterwards, instead of
-        // paying the per-event flush check of traceAppend.
+        // template in batch-sized bulk, stamping each copy while its
+        // cache line is still hot, instead of paying the per-event
+        // flush check of traceAppend. One fused pass — fill-then-
+        // restamp would re-walk ~176 bytes per frame a second time,
+        // which on a multi-megacycle idle stream is the difference
+        // between the fast path beating the reference loop and merely
+        // tying it.
         TraceEvent ev{};
         ev.kind = TraceEventKind::Cycle;
         ev.p.cycle = rec;
@@ -1005,10 +1083,10 @@ Core::skipIdleCycles(Cycle until)
             std::size_t n =
                 std::min<std::size_t>(traceBatchEvents - traceBuf_.size(),
                                       until - c);
-            std::size_t base = traceBuf_.size();
-            traceBuf_.resize(base + n, ev);
-            for (std::size_t i = 0; i < n; ++i)
-                traceBuf_[base + i].p.cycle.cycle = c + i;
+            for (std::size_t i = 0; i < n; ++i) {
+                ev.p.cycle.cycle = c + i;
+                traceBuf_.push_back(ev);
+            }
             c += n;
         }
     }
@@ -1030,29 +1108,15 @@ Core::drSqBlockedNow() const
 }
 
 Cycle
-Core::runFast(Cycle max_cycles)
+Core::runFast(Cycle max_cycles, std::uint64_t stop_uops)
 {
-    const Cycle interval = cfg_.storeSetClearInterval;
-    // First store-set clear boundary not yet applied: prior step()
-    // calls (if any) applied boundaries up to cycle_ - 1 eagerly.
-    Cycle next_clear =
-        interval == 0 ? 0
-        : cycle_ == 0 ? interval
-                      : ((cycle_ - 1) / interval + 1) * interval;
-
-    while (!halted_ && cycle_ < max_cycles) {
-        if (interval != 0 && cycle_ != 0 && next_clear <= cycle_ - 1) {
-            // Catch up on clears whose boundaries fell inside skipped
-            // spans. Equivalent to the reference's eager end-of-cycle
-            // clears: the set is only probed on active cycles, and no
-            // probe can land between a boundary and the next active
-            // cycle.
-            storeSets_.clear();
-            next_clear = ((cycle_ - 1) / interval + 1) * interval;
-        }
+    while (!halted_ && cycle_ < max_cycles &&
+           stats_.committedUops < stop_uops) {
         runStages();
+        ageStoreSets();
         endOfCycle();
-        if (halted_ || cycle_ >= max_cycles)
+        if (halted_ || cycle_ >= max_cycles ||
+            stats_.committedUops >= stop_uops)
             break;
 
         if (wakeNext_) {
@@ -1076,6 +1140,19 @@ Core::runFast(Cycle max_cycles)
     flushTrace();
     if (halted_)
         emitEnd();
+    return cycle_;
+}
+
+Cycle
+Core::run(Cycle max_cycles)
+{
+    if (fastPath_) {
+        runFast(max_cycles, ~std::uint64_t(0));
+    } else {
+        while (!halted_ && cycle_ < max_cycles) {
+            step();
+        }
+    }
     tea_assert(halted_, "%s did not halt within %lu cycles",
                prog_.name().c_str(),
                static_cast<unsigned long>(max_cycles));
@@ -1083,16 +1160,14 @@ Core::runFast(Cycle max_cycles)
 }
 
 Cycle
-Core::run(Cycle max_cycles)
+Core::runUntilCommitted(std::uint64_t target_uops, Cycle max_cycles)
 {
     if (fastPath_)
-        return runFast(max_cycles);
-    while (!halted_ && cycle_ < max_cycles) {
+        return runFast(max_cycles, target_uops);
+    while (!halted_ && cycle_ < max_cycles &&
+           stats_.committedUops < target_uops) {
         step();
     }
-    tea_assert(halted_, "%s did not halt within %lu cycles",
-               prog_.name().c_str(),
-               static_cast<unsigned long>(max_cycles));
     return cycle_;
 }
 

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Time-parallel simulation suite (`ctest -L simpar`): bit-identity of
+ * the stitched stream against the serial reference across workloads
+ * and thread counts, the checkpoint restore-resume property under
+ * randomized interval geometry, forced-fallback behavior when the
+ * warmup is too small to converge, and the TEA_SIM_PARALLEL=verify
+ * differential oracle.
+ */
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/parallel_sim.hh"
+#include "core/checkpoint.hh"
+#include "core/core.hh"
+#include "core/trace_buffer.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+std::vector<TraceEvent>
+flatten(const TraceBuffer &buf)
+{
+    std::vector<TraceEvent> out;
+    for (const auto &chunk : buf.chunks())
+        out.insert(out.end(), chunk->events.begin(), chunk->events.end());
+    return out;
+}
+
+/** Serial reference: plain Core::run with a capturing sink. */
+std::vector<TraceEvent>
+serialTrace(const std::string &name, CoreStats *stats_out = nullptr)
+{
+    Workload w = workloads::byName(name);
+    CoreConfig cfg;
+    TraceBuffer buf;
+    Core core(cfg, w.program, std::move(w.initial));
+    core.addSink(&buf);
+    core.run();
+    buf.finish();
+    if (stats_out)
+        *stats_out = core.stats();
+    return flatten(buf);
+}
+
+/** Stitched stream under explicit options. */
+std::vector<TraceEvent>
+parallelTrace(const std::string &name, const TimeParallelOptions &opts,
+              TimeParallelStats *tp_out = nullptr,
+              CoreStats *stats_out = nullptr)
+{
+    Workload w = workloads::byName(name);
+    CoreConfig cfg;
+    TraceBuffer buf;
+    CoreStats st;
+    SimPerf pf;
+    TimeParallelStats tp = simulateTimeParallel(cfg, w.program, w.initial,
+                                                opts, {&buf}, &st, &pf);
+    buf.finish();
+    if (tp_out)
+        *tp_out = tp;
+    if (stats_out)
+        *stats_out = st;
+    return flatten(buf);
+}
+
+void
+expectStreamsIdentical(const std::vector<TraceEvent> &serial,
+                       const std::vector<TraceEvent> &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_TRUE(eventsEquivalent(serial[i], parallel[i]))
+            << "streams diverge at event " << i;
+}
+
+struct SimparCase
+{
+    const char *workload;
+    unsigned threads;
+};
+
+class BitIdentity : public ::testing::TestWithParam<SimparCase>
+{
+};
+
+/**
+ * The tentpole contract: the stitched stream is bit-identical to the
+ * serial run whether intervals converge (exchange2, mcf: zero
+ * retries), partially converge (fotonik3d: tail intervals retried), or
+ * never converge (xz at these interval sizes: full serial fallback).
+ */
+TEST_P(BitIdentity, StitchedStreamMatchesSerial)
+{
+    const SimparCase &c = GetParam();
+    const std::vector<TraceEvent> serial = serialTrace(c.workload);
+
+    TimeParallelOptions opts;
+    opts.threads = c.threads;
+    opts.mode = SimParallelMode::On;
+    TimeParallelStats tp;
+    CoreStats serialStats;
+    serialTrace(c.workload, &serialStats);
+    CoreStats stitched;
+    const std::vector<TraceEvent> parallel =
+        parallelTrace(c.workload, opts, &tp, &stitched);
+
+    EXPECT_TRUE(tp.usedParallel);
+    EXPECT_GE(tp.intervals, 2u);
+    EXPECT_GE(tp.parallelEfficiency, 0.0);
+    EXPECT_LE(tp.parallelEfficiency, 1.0);
+    EXPECT_EQ(serialStats.cycles, stitched.cycles);
+    EXPECT_EQ(serialStats.committedUops, stitched.committedUops);
+    EXPECT_EQ(serialStats.eventCounts, stitched.eventCounts);
+    expectStreamsIdentical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, BitIdentity,
+    ::testing::Values(SimparCase{"exchange2", 2}, SimparCase{"exchange2", 4},
+                      SimparCase{"fotonik3d", 4}, SimparCase{"mcf", 4},
+                      SimparCase{"xz", 4}),
+    [](const ::testing::TestParamInfo<SimparCase> &info) {
+        return std::string(info.param.workload) + "_t" +
+               std::to_string(info.param.threads);
+    });
+
+/**
+ * Restore-resume property under randomized geometry: a Core resumed
+ * from any checkpoint (materialized memory image, register file,
+ * resume pc) must retire exactly the serial run's committed-uop suffix
+ * — same pcs, same count — regardless of interval/warmup choice.
+ * Timing is allowed to differ (cold caches); architecture is not.
+ */
+TEST(CheckpointResume, RandomGeometryRetiresSerialSuffix)
+{
+    Workload ref = workloads::byName("xz");
+    CoreConfig cfg;
+
+    // Serial retire-pc sequence, indexed by committed-uop number.
+    std::vector<std::uint32_t> serialPcs;
+    for (const TraceEvent &ev : serialTrace("xz"))
+        if (ev.kind == TraceEventKind::Retire)
+            serialPcs.push_back(ev.p.retire.pc);
+    ASSERT_FALSE(serialPcs.empty());
+
+    std::mt19937 rng(0x7ea5eed);
+    for (int iter = 0; iter < 6; ++iter) {
+        const std::uint64_t interval = std::uniform_int_distribution<
+            std::uint64_t>(4000, 40000)(rng);
+        const std::uint64_t warmup = std::uniform_int_distribution<
+            std::uint64_t>(500, interval / 2)(rng);
+        CheckpointPlan plan = buildCheckpoints(ref.program, ref.initial,
+                                               interval, warmup,
+                                               1ULL << 33, &cfg);
+        ASSERT_TRUE(plan.halted);
+        ASSERT_EQ(plan.totalUops, serialPcs.size());
+        if (plan.checkpoints.empty())
+            continue; // run shorter than one interval at this geometry
+        const std::size_t pick = std::uniform_int_distribution<
+            std::size_t>(0, plan.checkpoints.size() - 1)(rng);
+        const ArchCheckpoint &ck = plan.checkpoints[pick];
+        EXPECT_EQ(ck.uops, (pick + 1) * interval - warmup);
+
+        ArchState resumed = materializeState(ref.initial, plan, ck);
+        TraceBuffer buf;
+        Core core(cfg, ref.program, std::move(resumed), ck.pc, ck.uops,
+                  ck.predictor.get());
+        core.addSink(&buf);
+        core.run();
+        buf.finish();
+
+        std::vector<std::uint32_t> resumedPcs;
+        for (const TraceEvent &ev : flatten(buf))
+            if (ev.kind == TraceEventKind::Retire)
+                resumedPcs.push_back(ev.p.retire.pc);
+        ASSERT_EQ(resumedPcs.size(), serialPcs.size() - ck.uops)
+            << "interval=" << interval << " warmup=" << warmup
+            << " checkpoint=" << pick;
+        for (std::size_t i = 0; i < resumedPcs.size(); ++i)
+            ASSERT_EQ(resumedPcs[i], serialPcs[ck.uops + i])
+                << "retire " << i << " after checkpoint " << pick;
+    }
+}
+
+/**
+ * A warmup far too small to converge must degrade to serial retries —
+ * never to a wrong stream. This pins the failure path: retries > 0,
+ * efficiency < 1, output still bit-identical.
+ */
+TEST(Fallback, TinyWarmupRetriesAndStaysIdentical)
+{
+    const std::vector<TraceEvent> serial = serialTrace("mcf");
+
+    TimeParallelOptions opts;
+    opts.threads = 4;
+    opts.warmupUops = 256;
+    opts.mode = SimParallelMode::On;
+    TimeParallelStats tp;
+    const std::vector<TraceEvent> parallel =
+        parallelTrace("mcf", opts, &tp);
+
+    EXPECT_TRUE(tp.usedParallel);
+    EXPECT_GE(tp.convergenceRetries, 1u);
+    EXPECT_LT(tp.parallelEfficiency, 1.0);
+    expectStreamsIdentical(serial, parallel);
+}
+
+/** Serial-equivalent opt-outs: threads=1 and mode=off take the plain
+ *  path and report so. */
+TEST(Fallback, SerialModesReportSerial)
+{
+    TimeParallelOptions off;
+    off.threads = 4;
+    off.mode = SimParallelMode::Off;
+    TimeParallelStats tp;
+    parallelTrace("exchange2", off, &tp);
+    EXPECT_FALSE(tp.usedParallel);
+
+    TimeParallelOptions one;
+    one.threads = 1;
+    one.mode = SimParallelMode::On;
+    parallelTrace("exchange2", one, &tp);
+    EXPECT_FALSE(tp.usedParallel);
+}
+
+/**
+ * The differential oracle (TEA_SIM_PARALLEL=verify) re-runs serially
+ * inside simulateTimeParallel and fatals on any divergence — surviving
+ * the call is the assertion.
+ */
+TEST(VerifyMode, OraclePasses)
+{
+    TimeParallelOptions opts;
+    opts.threads = 3;
+    opts.mode = SimParallelMode::Verify;
+    TimeParallelStats tp;
+    const std::vector<TraceEvent> parallel =
+        parallelTrace("exchange2", opts, &tp);
+    EXPECT_TRUE(tp.usedParallel);
+    EXPECT_FALSE(parallel.empty());
+}
+
+} // namespace
+} // namespace tea

@@ -11,10 +11,17 @@ printed when a baseline looks stale (current value far above it) so it
 gets refreshed. On failure a per-field delta table of every compared
 key is printed so the offending fields are visible at a glance.
 
+Independent of the relative comparison, --min KEY=VALUE (repeatable)
+gates a key of the *current* JSON against an absolute floor. This is
+for invariants that must hold regardless of what the baseline says —
+e.g. speedup_vs_reference >= 1.0, which once silently drifted to 0.94
+because only the relative check ran.
+
 Usage:
     check_perf.py BASELINE.json CURRENT.json \
         --key decode_events_per_second \
-        --key warm_replay_events_per_second [--max-regress 0.20]
+        --key warm_replay_events_per_second [--max-regress 0.20] \
+        --min speedup_vs_reference=1.0
 """
 
 import argparse
@@ -68,8 +75,22 @@ def main() -> int:
     ap.add_argument("--max-regress", type=float, default=0.20,
                     help="maximum tolerated fractional regression "
                          "(default 0.20)")
+    ap.add_argument("--min", action="append", dest="floors",
+                    metavar="KEY=VALUE", default=[],
+                    help="absolute floor on a key of CURRENT, checked "
+                         "independently of the baseline (repeatable)")
     args = ap.parse_args()
     keys = args.keys or ["fastpath_events_per_second"]
+
+    floors = []
+    for spec in args.floors:
+        key, sep, raw = spec.partition("=")
+        if not sep or not key:
+            sys.exit(f"check_perf: --min expects KEY=VALUE, got {spec!r}")
+        try:
+            floors.append((key, float(raw)))
+        except ValueError:
+            sys.exit(f"check_perf: --min {key}: {raw!r} is not a number")
 
     base_data = load(args.baseline)
     cur_data = load(args.current)
@@ -89,9 +110,19 @@ def main() -> int:
             print(f"check_perf: note — {key} is well above baseline; "
                   "consider refreshing the checked-in JSON")
 
+    for key, floor in floors:
+        cur = value_of(cur_data, args.current, key)
+        if cur < floor:
+            failed = True
+            print(f"check_perf: FLOOR {key}: current {cur:g} "
+                  f"< required {floor:g}", file=sys.stderr)
+        else:
+            print(f"check_perf: {key}: {cur:g} >= floor {floor:g}")
+
     if failed:
-        print(f"check_perf: FAIL — regression exceeds "
-              f"{args.max_regress:.0%} budget\n" + delta_table(rows),
+        print(f"check_perf: FAIL — regression beyond the "
+              f"{args.max_regress:.0%} budget or a floor violated\n" +
+              delta_table(rows),
               file=sys.stderr)
         return 1
     print("check_perf: OK")
